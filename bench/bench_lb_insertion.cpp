@@ -1,0 +1,169 @@
+// FIG2-3 / FIG4 / FIG8 — the insertion-only lower-bound constructions.
+//
+// For Figures 2–3 (Lemma 12) we instantiate the instance over d and ε,
+// print the derived quantities (λ, h, r), and verify every claim of the
+// proof numerically:
+//   * Lemma 41:  r < (1−ε)(h+r)/2;
+//   * Claim 38:  the 2d witness balls of radius r cover the cluster ∪ P±
+//                minus p*, for every choice of p*;
+//   * Claim 13:  the k+z+1 witness points are pairwise ≥ h+r apart;
+//   * the resulting adversarial gap (1−ε)·(h+r)/2 − r > 0.
+// We then run Algorithm 3 on P(t) and report its stored size against the
+// Ω(k/ε^d + z) bound — the upper and lower bounds bracket each other.
+//
+// For Figure 4 (Lemma 15) we print the Ω(z) line construction and the
+// radius collapse when any point is dropped.
+//
+// Figure 8 is the appendix geometry behind Claim 38; the same verification
+// loop covers it (it is the per-axis center construction).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "core/brute_force.hpp"
+#include "core/cost.hpp"
+#include "lowerbound/insertion_lb.hpp"
+#include "stream/insertion_only.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kc;
+  using namespace kc::bench;
+  using namespace kc::lowerbound;
+  const Flags flags(argc, argv);
+  const bool quick = flags.has("quick");
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const Metric metric{Norm::L2};
+
+  banner("FIG2-3/FIG4/FIG8", "insertion-only lower-bound constructions "
+                             "(Lemmas 12 & 15) verified numerically", seed);
+
+  // ---- Figures 2–3: Lemma 12 over (d, ε) ---------------------------------
+  struct Config {
+    int d;
+    double eps;  // 0 = default 1/(8d)
+  };
+  std::vector<Config> configs = quick
+                                    ? std::vector<Config>{{1, 0.0}, {2, 0.0}}
+                                    : std::vector<Config>{{1, 0.0},
+                                                          {1, 1.0 / 16.0},
+                                                          {2, 0.0},
+                                                          {2, 1.0 / 32.0},
+                                                          {3, 0.0}};
+  Table t1({"d", "eps", "lambda", "h", "r", "cluster size", "|P(t)|",
+            "lemma41", "claim38", "claim13 sep", "gap"});
+  for (const auto& c : configs) {
+    InsertionLbConfig cfg;
+    cfg.dim = c.d;
+    cfg.k = 2 * c.d + 3;
+    cfg.z = 3;
+    cfg.eps = c.eps;
+    const auto lb = make_insertion_lb(cfg);
+
+    // Claim 38 verification over every p* in cluster 0.
+    bool claim38 = true;
+    const std::size_t c0 = lb.cluster_offsets[0];
+    for (std::size_t off = 0; off < lb.cluster_size && claim38; ++off) {
+      const Point p_star = lb.points[c0 + off];
+      const PointSet centers = lb.witness_centers(p_star);
+      for (std::size_t i = 0; i < lb.cluster_size && claim38; ++i) {
+        if (i == off) continue;
+        double best = 1e300;
+        for (const auto& w : centers)
+          best = std::min(best, metric.dist(lb.points[c0 + i], w));
+        if (best > lb.r + 1e-9) claim38 = false;
+      }
+      for (const auto& wp : lb.continuation(p_star)) {
+        double best = 1e300;
+        for (const auto& w : centers) best = std::min(best, metric.dist(wp.p, w));
+        if (best > lb.r + 1e-9) claim38 = false;
+      }
+    }
+
+    // Claim 13: witness separation ≥ h+r.
+    const Point p_star = lb.points[c0];
+    PointSet witness{p_star};
+    for (const auto& wp : lb.continuation(p_star)) witness.push_back(wp.p);
+    for (int cl = 1; cl < lb.clusters; ++cl)
+      witness.push_back(
+          lb.points[lb.cluster_offsets[static_cast<std::size_t>(cl)]]);
+    for (auto idx : lb.outlier_indices) witness.push_back(lb.points[idx]);
+    double min_sep = 1e300;
+    for (std::size_t i = 0; i < witness.size(); ++i)
+      for (std::size_t j = i + 1; j < witness.size(); ++j)
+        min_sep = std::min(min_sep, metric.dist(witness[i], witness[j]));
+
+    const double gap = (1.0 - lb.config.eps) * (lb.h + lb.r) / 2.0 - lb.r;
+    t1.add_row({std::to_string(c.d), fmt(lb.config.eps, 4),
+                fmt(lb.lambda, 0), fmt(lb.h, 3), fmt(lb.r, 3),
+                fmt_count(static_cast<long long>(lb.cluster_size)),
+                fmt_count(static_cast<long long>(lb.points.size())),
+                lb.lemma41_holds() ? "ok" : "FAIL", claim38 ? "ok" : "FAIL",
+                fmt(min_sep / (lb.h + lb.r), 3), fmt(gap, 3)});
+  }
+  std::printf("\n[Fig 2-3] Lemma 12 construction (every claim checked):\n");
+  t1.print();
+  shape_note("cluster size = (lambda+1)^d = Omega(1/eps^d) points the "
+             "coreset MUST retain; gap > 0 certifies the contradiction");
+
+  // ---- Upper bound meets lower bound --------------------------------------
+  Table t2({"d", "eps", "LB points (must store)", "Alg-3 threshold",
+            "Alg-3 stored on LB instance"});
+  for (const auto& c : configs) {
+    InsertionLbConfig cfg;
+    cfg.dim = c.d;
+    cfg.k = 2 * c.d + 3;
+    cfg.z = 3;
+    cfg.eps = c.eps;
+    const auto lb = make_insertion_lb(cfg);
+    const std::size_t must_store =
+        static_cast<std::size_t>(lb.clusters) * lb.cluster_size +
+        static_cast<std::size_t>(cfg.z);
+    stream::InsertionOnlyStream s(cfg.k, cfg.z, lb.config.eps, c.d, metric);
+    for (const auto& p : lb.points) s.insert(p);
+    t2.add_row({std::to_string(c.d), fmt(lb.config.eps, 4),
+                fmt_count(static_cast<long long>(must_store)),
+                fmt_count(static_cast<long long>(s.threshold())),
+                fmt_count(static_cast<long long>(s.coreset().size()))});
+  }
+  std::printf("\n[Theorem 11 vs Theorem 18] lower bound vs Algorithm 3 on "
+              "the same instance:\n");
+  t2.print();
+  shape_note("Algorithm 3 stores every LB point (it must) and its threshold "
+             "k(16/eps)^d + z tracks the Omega(k/eps^d + z) bound, constants "
+             "apart — the paper's optimality claim");
+
+  // ---- Figure 4: Lemma 15 Ω(z) -------------------------------------------
+  Table t3({"k", "z", "|P(t)|", "opt after arrival (discrete)",
+            "opt if any point dropped"});
+  std::vector<std::pair<int, std::int64_t>> kzs =
+      quick ? std::vector<std::pair<int, std::int64_t>>{{2, 4}}
+            : std::vector<std::pair<int, std::int64_t>>{{2, 4}, {3, 8},
+                                                        {4, 12}};
+  for (const auto& [k, z] : kzs) {
+    const auto lb = make_omega_z_lb(k, z);
+    WeightedSet all = with_unit_weights(lb.points);
+    all.push_back({lb.next, 1});
+    const double opt_full = brute_force_radius(all, k, z, metric);
+    double worst_dropped = 0.0;
+    for (std::size_t drop = 0; drop < lb.points.size(); ++drop) {
+      WeightedSet coreset;
+      for (std::size_t i = 0; i < lb.points.size(); ++i)
+        if (i != drop) coreset.push_back({lb.points[i], 1});
+      coreset.push_back({lb.next, 1});
+      worst_dropped =
+          std::max(worst_dropped, brute_force_radius(coreset, k, z, metric));
+    }
+    t3.add_row({std::to_string(k), fmt_count(z),
+                fmt_count(static_cast<long long>(lb.points.size())),
+                fmt(opt_full, 3), fmt(worst_dropped, 3)});
+  }
+  std::printf("\n[Fig 4] Lemma 15 line instance (Omega(k+z), holds for "
+              "randomized too):\n");
+  t3.print();
+  shape_note("dropping ANY of the k+z points collapses the coreset optimum "
+             "to 0 while the true optimum is positive — all k+z points must "
+             "be stored");
+  return 0;
+}

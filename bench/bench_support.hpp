@@ -1,0 +1,45 @@
+// Shared helpers for the experiment harnesses: banner printing, the
+// "cloud + clusters" separating workload, and quality evaluation.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/solver.hpp"
+#include "core/types.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+namespace kc::bench {
+
+/// Prints the standard experiment banner (id, description, seed) so every
+/// run is self-describing and reproducible.
+void banner(const std::string& experiment_id, const std::string& description,
+            std::uint64_t seed);
+
+/// Prints a one-line observed-shape note (e.g. a log-log slope).
+void shape_note(const std::string& text);
+
+/// Planted instance sized for MPC/stream sweeps.
+[[nodiscard]] PlantedInstance standard_instance(std::size_t n, int k,
+                                                std::int64_t z,
+                                                std::uint64_t seed,
+                                                int dim = 2);
+
+/// The ABL-GUESS separating workload: k dense planted clusters plus a wide
+/// uniform cloud whose points look like outliers locally but are globally
+/// structured (see DESIGN.md).
+[[nodiscard]] WeightedSet cloud_and_clusters(std::size_t n_cluster,
+                                             std::size_t n_cloud, int k,
+                                             std::uint64_t seed);
+
+/// Solve on `coreset`, evaluate the centers on `full`, and return the ratio
+/// against a direct solve on `full` (the QUALITY metric).
+[[nodiscard]] double quality_ratio(const WeightedSet& full,
+                                   const WeightedSet& coreset, int k,
+                                   std::int64_t z, const Metric& metric);
+
+}  // namespace kc::bench

@@ -1,0 +1,25 @@
+// Exact discrete-center optimum for tiny instances (test reference).
+//
+// Enumerates all k-subsets of the input points as center sets and takes the
+// one whose outlier-aware radius is smallest.  This is the *discrete*
+// optimum (centers restricted to input points); it over-estimates the
+// continuous optimum by at most a factor 2.  Intended for n ≤ ~20, k ≤ 4.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace kc {
+
+/// Exact optimal solution with centers ⊆ pts.  Aborts (contract violation)
+/// if the search space is unreasonably large (C(n,k) > ~2·10^6).
+[[nodiscard]] Solution brute_force_kcenter(const WeightedSet& pts, int k,
+                                           std::int64_t z, const Metric& metric);
+
+/// Radius only.
+[[nodiscard]] double brute_force_radius(const WeightedSet& pts, int k,
+                                        std::int64_t z, const Metric& metric);
+
+}  // namespace kc

@@ -1,0 +1,113 @@
+#include "core/charikar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace kc {
+
+CharikarRun charikar_run(const WeightedSet& pts, int k, std::int64_t z,
+                         double r, const Metric& metric) {
+  KC_EXPECTS(k >= 1);
+  CharikarRun out;
+  const std::size_t n = pts.size();
+  std::vector<bool> covered(n, false);
+  std::int64_t uncovered_w = 0;
+  for (const auto& wp : pts) uncovered_w += wp.w;
+
+  // dist_key thresholds: compare squared distances under L2.
+  const double r_key = (metric.norm() == Norm::L2) ? r * r : r;
+  const double r3 = 3.0 * r;
+  const double r3_key = (metric.norm() == Norm::L2) ? r3 * r3 : r3;
+
+  for (int t = 0; t < k && uncovered_w > z; ++t) {
+    // Pick the point whose r-ball covers the most uncovered weight.
+    std::int64_t best_w = -1;
+    std::size_t best_i = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int64_t wsum = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (covered[j]) continue;
+        if (metric.dist_key(pts[i].p, pts[j].p) <= r_key) wsum += pts[j].w;
+      }
+      if (wsum > best_w) {
+        best_w = wsum;
+        best_i = i;
+      }
+    }
+    out.centers.push_back(pts[best_i].p);
+    // Remove everything inside the expanded ball b(best_i, 3r).
+    for (std::size_t j = 0; j < n; ++j) {
+      if (covered[j]) continue;
+      if (metric.dist_key(pts[best_i].p, pts[j].p) <= r3_key) {
+        covered[j] = true;
+        uncovered_w -= pts[j].w;
+      }
+    }
+  }
+  out.uncovered = uncovered_w;
+  out.success = uncovered_w <= z;
+  return out;
+}
+
+CharikarResult charikar_oracle(const WeightedSet& pts, int k, std::int64_t z,
+                               const Metric& metric,
+                               const CharikarOptions& opt) {
+  KC_EXPECTS(k >= 1);
+  KC_EXPECTS(z >= 0);
+  CharikarResult res;
+  res.rho = 6.0 * (1.0 + opt.beta);
+  if (pts.empty()) return res;
+
+  std::int64_t total_w = 0;
+  for (const auto& wp : pts) total_w += wp.w;
+  if (total_w <= z) {
+    // Everything may be an outlier: optimal radius is 0.
+    res.radius = 0.0;
+    res.centers.push_back(pts.front().p);
+    return res;
+  }
+
+  // Upper bound for the ladder: covering radius of a single ball centred at
+  // pts[0]; optk,z ≤ opt1,0 ≤ hi.
+  double hi = 0.0;
+  for (const auto& wp : pts) hi = std::max(hi, metric.dist(pts.front().p, wp.p));
+  if (hi == 0.0) {
+    // All points coincide.
+    res.radius = 0.0;
+    res.centers.push_back(pts.front().p);
+    return res;
+  }
+
+  // Candidate ladder: c_j = hi / (1+β)^j, j = 0..max_ladder.  Success is
+  // monotone (larger radius keeps succeeding), so the predicate is true on
+  // a prefix of j; binary-search the boundary.
+  const double growth = 1.0 + opt.beta;
+  auto candidate = [&](int j) { return hi / std::pow(growth, j); };
+
+  CharikarRun best_run = charikar_run(pts, k, z, candidate(0), metric);
+  KC_ENSURES(best_run.success);  // r = hi ≥ opt always succeeds
+  int best_j = 0;
+
+  int lo_j = 0, hi_j = opt.max_ladder;
+  while (lo_j < hi_j) {
+    const int mid = lo_j + (hi_j - lo_j + 1) / 2;
+    CharikarRun run = charikar_run(pts, k, z, candidate(mid), metric);
+    if (run.success) {
+      lo_j = mid;
+      best_run = std::move(run);
+      best_j = mid;
+    } else {
+      hi_j = mid - 1;
+    }
+  }
+
+  res.radius = 3.0 * candidate(best_j);
+  res.centers = std::move(best_run.centers);
+  KC_ENSURES(!res.centers.empty());
+  return res;
+}
+
+}  // namespace kc

@@ -1,0 +1,68 @@
+#include "core/cost.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace kc {
+
+std::vector<double> nearest_center_dist(const WeightedSet& pts,
+                                        const PointSet& centers,
+                                        const Metric& metric) {
+  KC_EXPECTS(!centers.empty());
+  std::vector<double> out;
+  out.reserve(pts.size());
+  for (const auto& wp : pts) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& c : centers) {
+      const double key = metric.dist_key(wp.p, c);
+      if (key < best) best = key;
+    }
+    out.push_back(metric.key_to_dist(best));
+  }
+  return out;
+}
+
+double radius_with_outliers(const WeightedSet& pts, const PointSet& centers,
+                            std::int64_t z, const Metric& metric) {
+  if (pts.empty()) return 0.0;
+  const std::vector<double> dist = nearest_center_dist(pts, centers, metric);
+
+  // Pair distances with weights, sort descending by distance, and walk from
+  // the farthest point: once the accumulated weight would exceed z, the
+  // current point must be covered, so its distance is the required radius.
+  std::vector<std::pair<double, std::int64_t>> dw;
+  dw.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    KC_EXPECTS(pts[i].w > 0);
+    dw.emplace_back(dist[i], pts[i].w);
+  }
+  std::sort(dw.begin(), dw.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::int64_t acc = 0;
+  for (const auto& [d, w] : dw) {
+    if (acc + w > z) return d;
+    acc += w;
+  }
+  return 0.0;  // total weight ≤ z: everything may be an outlier
+}
+
+std::int64_t uncovered_weight(const WeightedSet& pts, const PointSet& centers,
+                              double r, const Metric& metric) {
+  const std::vector<double> dist = nearest_center_dist(pts, centers, metric);
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    if (dist[i] > r) acc += pts[i].w;
+  return acc;
+}
+
+Solution evaluate(const WeightedSet& pts, PointSet centers, std::int64_t z,
+                  const Metric& metric) {
+  Solution sol;
+  sol.radius = radius_with_outliers(pts, centers, z, metric);
+  sol.centers = std::move(centers);
+  return sol;
+}
+
+}  // namespace kc

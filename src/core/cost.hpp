@@ -1,0 +1,41 @@
+// Cost evaluation for k-center with outliers.
+//
+// The objective optk,z(P) is the smallest r such that k balls of radius r
+// cover all of P except points of total weight ≤ z.  Given a fixed center
+// set C, `radius_with_outliers` computes the exact optimal radius for C:
+// the smallest r such that the weight of points farther than r from C is
+// at most z.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace kc {
+
+/// Distance from each point of `pts` to its nearest center.
+[[nodiscard]] std::vector<double> nearest_center_dist(const WeightedSet& pts,
+                                                      const PointSet& centers,
+                                                      const Metric& metric);
+
+/// Smallest radius r such that the total weight of points with
+/// dist(p, centers) > r is at most z.  Returns 0 when the total weight of
+/// all points is ≤ z (everything may be an outlier) or when every point
+/// coincides with a center.
+[[nodiscard]] double radius_with_outliers(const WeightedSet& pts,
+                                          const PointSet& centers,
+                                          std::int64_t z, const Metric& metric);
+
+/// Total weight of points strictly farther than r from every center.
+[[nodiscard]] std::int64_t uncovered_weight(const WeightedSet& pts,
+                                            const PointSet& centers, double r,
+                                            const Metric& metric);
+
+/// Evaluates `sol.centers` on `pts` and returns the solution with its exact
+/// radius on that instance.
+[[nodiscard]] Solution evaluate(const WeightedSet& pts, PointSet centers,
+                                std::int64_t z, const Metric& metric);
+
+}  // namespace kc

@@ -1,0 +1,60 @@
+#include "core/gonzalez.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace kc {
+
+GonzalezResult gonzalez(const WeightedSet& pts, int max_centers,
+                        const Metric& metric, double stop_radius) {
+  KC_EXPECTS(max_centers >= 1);
+  GonzalezResult res;
+  const std::size_t n = pts.size();
+  if (n == 0) return res;
+
+  // dist_key[i] = distance key from point i to the nearest selected center.
+  std::vector<double> key(n, std::numeric_limits<double>::infinity());
+  res.assignment.assign(n, 0);
+
+  std::size_t next = 0;  // first center: index 0 (deterministic)
+  for (int t = 0; t < max_centers && static_cast<std::size_t>(t) < n; ++t) {
+    res.center_indices.push_back(next);
+    const Point& c = pts[next].p;
+    // Relax all distances against the new center, tracking the farthest
+    // point for the next iteration.
+    double far_key = -1.0;
+    std::size_t far_idx = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double k2 = metric.dist_key(pts[i].p, c);
+      if (k2 < key[i]) {
+        key[i] = k2;
+        res.assignment[i] = static_cast<std::uint32_t>(t);
+      }
+      if (key[i] > far_key) {
+        far_key = key[i];
+        far_idx = i;
+      }
+    }
+    const double radius = metric.key_to_dist(far_key);
+    res.delta.push_back(radius);
+    next = far_idx;
+    if (stop_radius > 0.0 && radius <= stop_radius) break;
+    if (radius == 0.0) break;  // all points coincide with selected centers
+  }
+  return res;
+}
+
+WeightedSet gonzalez_summary(const WeightedSet& pts, const GonzalezResult& g) {
+  WeightedSet out;
+  out.reserve(g.center_indices.size());
+  for (auto idx : g.center_indices) out.push_back({pts[idx].p, 0});
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    out[g.assignment[i]].w += pts[i].w;
+  // Centers selected after the last full relaxation can end up with zero
+  // assigned weight only if n < #centers, which gonzalez() prevents.
+  for (const auto& wp : out) KC_ENSURES(wp.w > 0);
+  return out;
+}
+
+}  // namespace kc

@@ -1,0 +1,55 @@
+// Gonzalez farthest-point traversal [26].
+//
+// Selects centers greedily: each new center is the point farthest from the
+// already-selected ones.  Two classic facts the library relies on:
+//
+//  * With t centers the covering radius δ_t is a 2-approximation of the
+//    optimal t-center radius (no outliers).
+//  * The selected points are pairwise ≥ δ_t apart, so by the packing bound
+//    (Lemma 6 of the paper) running until τ = k(4/ε)^d + z + 1 centers
+//    forces δ_τ ≤ ε · optk,z(P).  This yields the oracle-free mini-ball
+//    covering used as the fast path / ablation (see core/mbc.hpp).
+//
+// Weights are irrelevant to center selection but are carried through the
+// assignment so callers can build weighted summaries.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace kc {
+
+struct GonzalezResult {
+  /// Indices into the input set, in selection order.
+  std::vector<std::size_t> center_indices;
+  /// delta[t] = max distance of any point to the first (t+1) centers,
+  /// i.e. the covering radius after t+1 centers have been selected.
+  std::vector<double> delta;
+  /// assignment[i] = index into center_indices of the nearest center.
+  std::vector<std::uint32_t> assignment;
+
+  [[nodiscard]] PointSet centers(const WeightedSet& pts) const {
+    PointSet out;
+    out.reserve(center_indices.size());
+    for (auto i : center_indices) out.push_back(pts[i].p);
+    return out;
+  }
+};
+
+/// Runs the traversal until `max_centers` centers are selected or the
+/// covering radius drops to ≤ `stop_radius` (pass 0 to disable the radius
+/// stop).  O(n · #centers) time, O(n) extra space.
+[[nodiscard]] GonzalezResult gonzalez(const WeightedSet& pts, int max_centers,
+                                      const Metric& metric,
+                                      double stop_radius = 0.0);
+
+/// Weighted summary induced by a traversal: one point per center, weight =
+/// total weight of the points assigned to it.  Every input point is within
+/// the final covering radius of its representative.
+[[nodiscard]] WeightedSet gonzalez_summary(const WeightedSet& pts,
+                                           const GonzalezResult& g);
+
+}  // namespace kc

@@ -1,0 +1,87 @@
+#include "core/mbc.hpp"
+
+#include <cmath>
+
+#include "core/gonzalez.hpp"
+#include "util/check.hpp"
+
+namespace kc {
+
+MiniBallCovering mbc_with_radius(const WeightedSet& pts, double radius,
+                                 const Metric& metric) {
+  KC_EXPECTS(radius >= 0.0);
+  MiniBallCovering out;
+  out.cover_radius = radius;
+  out.assignment.reserve(pts.size());
+  const double key =
+      (metric.norm() == Norm::L2) ? radius * radius : radius;
+
+  for (const auto& wp : pts) {
+    KC_EXPECTS(wp.w > 0);
+    bool placed = false;
+    for (std::size_t r = 0; r < out.reps.size(); ++r) {
+      if (metric.dist_key(wp.p, out.reps[r].p) <= key) {
+        out.reps[r].w += wp.w;
+        out.assignment.push_back(static_cast<std::uint32_t>(r));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      out.assignment.push_back(static_cast<std::uint32_t>(out.reps.size()));
+      out.reps.push_back(wp);
+    }
+  }
+  return out;
+}
+
+MiniBallCovering mbc_construct(const WeightedSet& pts, int k, std::int64_t z,
+                               double eps, const Metric& metric,
+                               const OracleOptions& oracle) {
+  KC_EXPECTS(eps > 0.0 && eps <= 1.0);
+  if (pts.empty()) return {};
+  const RadiusEstimate est = estimate_radius(pts, k, z, metric, oracle);
+  // Mini-ball radius ε·r/ρ ≤ ε·opt (covering property); since r ≥ opt the
+  // representatives are pairwise > (ε/ρ)·opt apart, giving the Lemma-7 size
+  // bound k(4ρ/ε)^d + z.
+  MiniBallCovering out =
+      mbc_with_radius(pts, eps * est.radius / est.rho, metric);
+  out.oracle_radius = est.radius;
+  out.rho = est.rho;
+  return out;
+}
+
+MiniBallCovering mbc_via_gonzalez(const WeightedSet& pts, int k,
+                                  std::int64_t z, double eps,
+                                  const Metric& metric) {
+  KC_EXPECTS(eps > 0.0 && eps <= 1.0);
+  if (pts.empty()) return {};
+  const int dim = pts.front().p.dim();
+  const std::int64_t tau = summary_center_budget(k, z, eps, dim);
+  const GonzalezResult g = gonzalez(
+      pts, static_cast<int>(std::min<std::int64_t>(
+               tau, static_cast<std::int64_t>(pts.size()))),
+      metric);
+  MiniBallCovering out;
+  out.reps = gonzalez_summary(pts, g);
+  out.assignment = g.assignment;
+  out.cover_radius = g.delta.back();
+  out.rho = 1.0;  // oracle-free
+  return out;
+}
+
+double mbc_size_bound(int k, std::int64_t z, double eps, double rho, int dim) {
+  return static_cast<double>(k) * std::pow(4.0 * rho / eps, dim) +
+         static_cast<double>(z);
+}
+
+WeightedSet merge_coresets(const std::vector<WeightedSet>& parts) {
+  WeightedSet out;
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+}  // namespace kc

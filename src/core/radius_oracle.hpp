@@ -1,0 +1,54 @@
+// Radius oracles: two-sided estimates of optk,z(P).
+//
+// Every mini-ball-covering construction in the paper consumes the radius r
+// reported by `Greedy` [14] together with its approximation factor: it
+// needs  opt ≤ r ≤ ρ·opt  (lower side for the covering property, upper side
+// for the size bound, Lemma 7).  We expose that contract as RadiusEstimate
+// and provide three implementations:
+//
+//  * Charikar      — the paper's choice: ladder-searched Charikar greedy,
+//                    ρ = 3(1+β) with respect to the discrete-center optimum
+//                    (see charikar.hpp for the discretisation discussion).
+//  * Summary       — fast path: Gonzalez summary of size k(4/γ)^d + z + 1
+//                    (covering radius δ ≤ γ·opt by the packing bound),
+//                    Charikar on the summary, r = r_S + δ.  Factor
+//                    ρ = ρ_C(1+γ) + γ; cost O(n·(k(4/γ)^d+z)) instead of
+//                    O(ladder · k · n²).
+//  * Auto          — Summary when the input is large, Charikar otherwise.
+//
+// All guarantees are stated for positive-integer-weighted inputs, matching
+// the weighted problem of the paper.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace kc {
+
+struct RadiusEstimate {
+  double radius = 0.0;  ///< estimate r with opt ≤ r ≤ rho·opt
+  double rho = 1.0;     ///< stated approximation factor of `radius`
+};
+
+enum class OracleKind : std::uint8_t { Charikar, Summary, Auto };
+
+struct OracleOptions {
+  OracleKind kind = OracleKind::Auto;
+  double beta = 0.25;      ///< Charikar ladder density
+  double gamma = 0.5;      ///< Summary oracle target δ/opt ratio
+  std::size_t auto_threshold = 600;  ///< Auto: input size above which Summary is used
+};
+
+/// Computes a two-sided estimate of optk,z(pts).
+[[nodiscard]] RadiusEstimate estimate_radius(const WeightedSet& pts, int k,
+                                             std::int64_t z, const Metric& metric,
+                                             const OracleOptions& opt = {});
+
+/// The τ(γ) center budget that forces the Gonzalez covering radius down to
+/// ≤ γ·optk,z (packing bound, Lemma 6): k·⌈4/γ⌉^d + z + 1.
+[[nodiscard]] std::int64_t summary_center_budget(int k, std::int64_t z,
+                                                 double gamma, int dim);
+
+}  // namespace kc

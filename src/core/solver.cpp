@@ -1,0 +1,103 @@
+#include "core/solver.hpp"
+
+#include <limits>
+
+#include "core/brute_force.hpp"
+#include "core/charikar.hpp"
+#include "core/cost.hpp"
+#include "core/gonzalez.hpp"
+#include "util/check.hpp"
+
+namespace kc {
+
+Solution solve_kcenter_outliers(const WeightedSet& pts, int k, std::int64_t z,
+                                const Metric& metric,
+                                const OracleOptions& oracle) {
+  KC_EXPECTS(!pts.empty());
+  CharikarOptions copt;
+  copt.beta = oracle.beta;
+
+  // The Charikar greedy is O(ladder · k · n²); above the threshold we first
+  // compress with a Gonzalez summary (covering radius ≤ γ·opt by the
+  // packing bound), which perturbs the optimum by ≤ γ·opt — a constant
+  // absorbed into the solver's approximation factor.
+  const WeightedSet* work = &pts;
+  WeightedSet summary;
+  if (pts.size() > oracle.auto_threshold) {
+    const int dim = pts.front().p.dim();
+    const std::int64_t tau = summary_center_budget(k, z, oracle.gamma, dim);
+    if (static_cast<std::int64_t>(pts.size()) > tau) {
+      const GonzalezResult g = gonzalez(pts, static_cast<int>(tau), metric);
+      summary = gonzalez_summary(pts, g);
+      work = &summary;
+    }
+  }
+
+  const CharikarResult res = charikar_oracle(*work, k, z, metric, copt);
+  PointSet centers = res.centers;
+  // The radius we report is the exact outlier-aware radius of the chosen
+  // centers on the *original* weighted set.
+  return evaluate(pts, std::move(centers), z, metric);
+}
+
+Solution solve_kcenter_outliers_exact(const WeightedSet& pts, int k,
+                                      std::int64_t z, const Metric& metric,
+                                      std::uint64_t budget) {
+  KC_EXPECTS(!pts.empty());
+  // C(n, k) within budget → exact discrete-center enumeration.
+  std::uint64_t combos = 1;
+  bool feasible = true;
+  for (int i = 1; i <= k && feasible; ++i) {
+    combos = combos * (pts.size() - static_cast<std::size_t>(k) +
+                       static_cast<std::size_t>(i)) /
+             static_cast<std::uint64_t>(i);
+    if (combos > budget) feasible = false;
+  }
+  if (feasible && static_cast<std::size_t>(k) <= pts.size())
+    return brute_force_kcenter(pts, k, z, metric);
+  return solve_kcenter_outliers(pts, k, z, metric);
+}
+
+Labeling classify(const WeightedSet& pts, const Solution& sol,
+                  const Metric& metric) {
+  KC_EXPECTS(!sol.centers.empty());
+  Labeling out;
+  out.labels.reserve(pts.size());
+  // Tolerance mirrors check_expansion_property: absorb fp rounding so a
+  // point exactly on the boundary counts as covered.
+  const double limit = sol.radius * (1.0 + 1e-12) + 1e-300;
+  for (const auto& wp : pts) {
+    int best = -1;
+    double best_key = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < sol.centers.size(); ++c) {
+      const double key = metric.dist_key(wp.p, sol.centers[c]);
+      if (key < best_key) {
+        best_key = key;
+        best = static_cast<int>(c);
+      }
+    }
+    if (metric.key_to_dist(best_key) > limit) {
+      out.labels.push_back(-1);
+      out.outlier_weight += wp.w;
+    } else {
+      out.labels.push_back(best);
+    }
+  }
+  return out;
+}
+
+PipelineQuality compare_on_full(const WeightedSet& full,
+                                const WeightedSet& coreset, int k,
+                                std::int64_t z, const Metric& metric,
+                                const OracleOptions& oracle) {
+  PipelineQuality q;
+  const Solution via = solve_kcenter_outliers(coreset, k, z, metric, oracle);
+  q.radius_via_coreset =
+      radius_with_outliers(full, via.centers, z, metric);
+  const Solution direct = solve_kcenter_outliers(full, k, z, metric, oracle);
+  q.radius_direct = direct.radius;
+  q.ratio = q.radius_direct > 0 ? q.radius_via_coreset / q.radius_direct : 1.0;
+  return q;
+}
+
+}  // namespace kc

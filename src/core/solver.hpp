@@ -1,0 +1,61 @@
+// End-of-pipeline solver: extract an actual k-center-with-outliers solution
+// from a coreset, and evaluate it back on the original instance.
+//
+// The paper's pipelines all end this way (§1, "About the approximation
+// factor"): run an offline algorithm on the coreset; its factor multiplies
+// into the final (1±ε) guarantee.  We use the Charikar greedy as that
+// offline algorithm, giving a 3(1+ε)-style end-to-end approximation.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/radius_oracle.hpp"
+#include "core/types.hpp"
+
+namespace kc {
+
+/// Solves k-center with z outliers on `pts` (typically a coreset) and
+/// returns centers with their exact radius on `pts`.
+[[nodiscard]] Solution solve_kcenter_outliers(const WeightedSet& pts, int k,
+                                              std::int64_t z,
+                                              const Metric& metric,
+                                              const OracleOptions& oracle = {});
+
+/// The paper's "optimal but slow algorithm on the coreset → (1+ε) overall"
+/// path (§1, "About the approximation factor"): exact discrete-center
+/// search when C(|pts|, k) is small, otherwise falls back to the greedy
+/// solver.  `budget` caps the number of center sets enumerated.
+[[nodiscard]] Solution solve_kcenter_outliers_exact(
+    const WeightedSet& pts, int k, std::int64_t z, const Metric& metric,
+    std::uint64_t budget = 2'000'000);
+
+/// Cluster labels for a solution: labels[i] = index of the nearest center
+/// covering point i, or −1 if point i is an outlier.  Outliers are chosen
+/// exactly as in the cost model: the points farther than `sol.radius` from
+/// every center (their total weight is ≤ z whenever sol.radius came from
+/// radius_with_outliers on the same instance).
+struct Labeling {
+  std::vector<int> labels;        ///< per input point; −1 = outlier
+  std::int64_t outlier_weight = 0;
+};
+[[nodiscard]] Labeling classify(const WeightedSet& pts, const Solution& sol,
+                                const Metric& metric);
+
+/// Quality of a coreset pipeline: solve on the coreset, evaluate the same
+/// centers on the full set, and compare with solving on the full set
+/// directly.  ratio = radius(via coreset, on full) / radius(direct, on
+/// full); ≤ 1+O(ε) for a valid coreset.
+struct PipelineQuality {
+  double radius_via_coreset = 0.0;  ///< coreset centers evaluated on full P
+  double radius_direct = 0.0;       ///< direct solve evaluated on full P
+  double ratio = 0.0;
+};
+
+[[nodiscard]] PipelineQuality compare_on_full(const WeightedSet& full,
+                                              const WeightedSet& coreset,
+                                              int k, std::int64_t z,
+                                              const Metric& metric,
+                                              const OracleOptions& oracle = {});
+
+}  // namespace kc

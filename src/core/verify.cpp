@@ -1,0 +1,73 @@
+#include "core/verify.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "util/check.hpp"
+
+namespace kc {
+
+bool check_mbc_structure(const WeightedSet& input,
+                         const MiniBallCovering& mbc) {
+  if (mbc.assignment.size() != input.size()) return false;
+
+  std::vector<std::int64_t> group_w(mbc.reps.size(), 0);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const std::uint32_t r = mbc.assignment[i];
+    if (r >= mbc.reps.size()) return false;
+    group_w[r] += input[i].w;
+  }
+  std::int64_t total_reps = 0;
+  for (std::size_t r = 0; r < mbc.reps.size(); ++r) {
+    if (group_w[r] != mbc.reps[r].w) return false;
+    total_reps += mbc.reps[r].w;
+  }
+  if (total_reps != total_weight(input)) return false;
+
+  // Subset property: each representative must be one of the input points
+  // (coordinates equal); representatives coincide with the first member of
+  // their group in the greedy constructions.
+  for (const auto& rep : mbc.reps) {
+    const bool found = std::any_of(
+        input.begin(), input.end(),
+        [&](const WeightedPoint& wp) { return wp.p == rep.p; });
+    if (!found) return false;
+  }
+  return true;
+}
+
+double max_assignment_dist(const WeightedSet& input,
+                           const MiniBallCovering& mbc, const Metric& metric) {
+  KC_EXPECTS(mbc.assignment.size() == input.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const double d = metric.dist(input[i].p, mbc.reps[mbc.assignment[i]].p);
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+bool check_separation(const WeightedSet& reps, double radius,
+                      const Metric& metric) {
+  for (std::size_t i = 0; i < reps.size(); ++i)
+    for (std::size_t j = i + 1; j < reps.size(); ++j)
+      if (metric.dist(reps[i].p, reps[j].p) <= radius) return false;
+  return true;
+}
+
+bool check_expansion_property(const WeightedSet& original,
+                              const WeightedSet& coreset,
+                              const PointSet& centers, double radius,
+                              double slack, std::int64_t z,
+                              const Metric& metric) {
+  // Candidate solution must be feasible on the coreset…
+  if (uncovered_weight(coreset, centers, radius, metric) > z) return false;
+  // …then expansion by `slack` must make it feasible on the original set.
+  // A small relative tolerance absorbs floating-point rounding in the
+  // distance computations.
+  const double r_expanded = (radius + slack) * (1.0 + 1e-12);
+  return uncovered_weight(original, centers, r_expanded, metric) <= z;
+}
+
+}  // namespace kc

@@ -1,0 +1,115 @@
+#include "dynamic/dynamic_coreset.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kc::dynamic {
+
+std::int64_t dynamic_sample_budget(int k, std::int64_t z, double eps,
+                                   int dim) {
+  const double per_center =
+      std::pow(4.0 * std::sqrt(static_cast<double>(dim)) / eps, dim);
+  // The 1e-9 guard keeps exact powers (e.g. (4√2)² = 32) from rounding up.
+  return static_cast<std::int64_t>(
+             std::ceil(static_cast<double>(k) * per_center - 1e-9)) +
+         z;
+}
+
+DynamicCoreset::DynamicCoreset(const DynamicCoresetOptions& opt)
+    : opt_(opt),
+      grids_(opt.delta, opt.dim),
+      s_(dynamic_sample_budget(opt.k, opt.z, opt.eps, opt.dim)) {
+  KC_EXPECTS(opt.k >= 1);
+  KC_EXPECTS(opt.z >= 0);
+  KC_EXPECTS(opt.eps > 0.0 && opt.eps <= 1.0);
+  Rng rng(opt.seed);
+  for (int l = 0; l < grids_.levels(); ++l) {
+    if (opt.deterministic_recovery) {
+      det_recovery_.emplace_back(static_cast<std::size_t>(s_));
+    } else {
+      recovery_.emplace_back(static_cast<std::size_t>(s_), rng(), /*rows=*/4);
+    }
+    // The level-sampling ladder of F(G_l) only needs to span the number of
+    // cells in G_l (≤ log2 of its universe size), not a generic 2^40 range.
+    int f0_levels = 1;
+    while ((std::uint64_t{1} << f0_levels) < grids_.universe_size(l))
+      ++f0_levels;
+    f0_.emplace_back(opt.f0_eps, rng(), f0_levels + 1);
+  }
+}
+
+void DynamicCoreset::update(const GridPoint& p, int sign) {
+  KC_EXPECTS(sign == +1 || sign == -1);
+  KC_EXPECTS(p.dim == opt_.dim);
+  live_ += sign;
+  KC_EXPECTS(live_ >= 0);  // strict turnstile
+  for (int l = 0; l < grids_.levels(); ++l) {
+    const std::uint64_t cell = grids_.cell_id(p, l);
+    if (opt_.deterministic_recovery)
+      det_recovery_[static_cast<std::size_t>(l)].update(cell, sign);
+    else
+      recovery_[static_cast<std::size_t>(l)].update(cell, sign);
+    f0_[static_cast<std::size_t>(l)].update(cell, sign);
+  }
+}
+
+std::optional<std::vector<std::pair<std::uint64_t, std::int64_t>>>
+DynamicCoreset::recover_level(int level) const {
+  std::vector<std::pair<std::uint64_t, std::int64_t>> cells;
+  if (opt_.deterministic_recovery) {
+    const auto dec = det_recovery_[static_cast<std::size_t>(level)].decode(
+        grids_.universe_size(level));
+    if (!dec) return std::nullopt;
+    for (const auto& item : *dec) cells.emplace_back(item.key, item.count);
+  } else {
+    const auto dec = recovery_[static_cast<std::size_t>(level)].decode();
+    if (!dec.complete) return std::nullopt;
+    for (const auto& item : dec.items) cells.emplace_back(item.key, item.count);
+  }
+  return cells;
+}
+
+DynamicCoreset::QueryResult DynamicCoreset::query() const {
+  QueryResult res;
+  if (live_ == 0) {
+    res.ok = true;
+    res.level = grids_.levels() - 1;
+    return res;
+  }
+  for (int l = 0; l < grids_.levels(); ++l) {
+    // Fast filter via the F0 estimate, then attempt full recovery; if the
+    // estimate was optimistic the recovery fails and we move one level up.
+    const double est = f0_[static_cast<std::size_t>(l)].estimate();
+    if (est < 0 ||
+        est > static_cast<double>(s_) * (1.0 + opt_.f0_eps)) {
+      continue;
+    }
+    const auto cells = recover_level(l);
+    if (!cells) continue;
+    res.coreset.reserve(cells->size());
+    std::int64_t total = 0;
+    for (const auto& [cell, count] : *cells) {
+      KC_ENSURES(count > 0);
+      res.coreset.push_back({grids_.cell_center(cell, l), count});
+      total += count;
+    }
+    KC_ENSURES(total == live_);
+    res.level = l;
+    res.nonempty_cells = cells->size();
+    res.cell_side = static_cast<double>(grids_.cell_side(l));
+    res.ok = true;
+    return res;
+  }
+  return res;  // ok = false: no level decodable (should not happen)
+}
+
+std::size_t DynamicCoreset::words() const {
+  std::size_t total = 0;
+  for (const auto& r : recovery_) total += r.words();
+  for (const auto& r : det_recovery_) total += r.words();
+  for (const auto& f : f0_) total += f.words();
+  return total;
+}
+
+}  // namespace kc::dynamic

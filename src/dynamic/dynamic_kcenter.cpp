@@ -1,0 +1,4 @@
+// DynamicKCenter is header-only (thin composition of DynamicCoreset and the
+// offline solver); this translation unit pins the vtable-free class into
+// the kc_dynamic library and verifies the header is self-contained.
+#include "dynamic/dynamic_kcenter.hpp"

@@ -1,0 +1,56 @@
+// Fully dynamic (3+ε)-approximate k-center with outliers — the application
+// the paper derives from Algorithm 5 (§1, §5): after every update, run a
+// greedy offline algorithm on the maintained relaxed coreset.  The update
+// time is sketch-polylog; the query time depends only on the coreset size
+// O(k/ε^d + z), independent of the number of live points — the property the
+// paper highlights against the Ω(n)-space dynamic algorithms of [28, 6].
+
+#pragma once
+
+#include "core/solver.hpp"
+#include "dynamic/dynamic_coreset.hpp"
+
+namespace kc::dynamic {
+
+class DynamicKCenter {
+ public:
+  explicit DynamicKCenter(const DynamicCoresetOptions& opt,
+                          Norm norm = Norm::L2)
+      : coreset_(opt), metric_(norm), opt_(opt) {}
+
+  void insert(const GridPoint& p) { coreset_.update(p, +1); }
+  void erase(const GridPoint& p) { coreset_.update(p, -1); }
+
+  struct DynamicSolution {
+    Solution solution;       ///< centers + radius on the coreset
+    std::size_t coreset_size = 0;
+    int grid_level = -1;
+    bool ok = false;
+  };
+
+  /// Extracts the current coreset and solves k-center with z outliers on it
+  /// (Charikar greedy → 3(1+ε)-style end-to-end factor).
+  [[nodiscard]] DynamicSolution solve() const {
+    DynamicSolution out;
+    const auto q = coreset_.query();
+    if (!q.ok) return out;
+    out.ok = true;
+    out.coreset_size = q.coreset.size();
+    out.grid_level = q.level;
+    if (!q.coreset.empty())
+      out.solution =
+          solve_kcenter_outliers(q.coreset, opt_.k, opt_.z, metric_);
+    return out;
+  }
+
+  [[nodiscard]] const DynamicCoreset& coreset() const noexcept {
+    return coreset_;
+  }
+
+ private:
+  DynamicCoreset coreset_;
+  Metric metric_;
+  DynamicCoresetOptions opt_;
+};
+
+}  // namespace kc::dynamic

@@ -1,0 +1,68 @@
+// Metric abstraction for R^d under the L2, L∞, and L1 norms, plus
+// user-supplied distances.
+//
+// All algorithms in the library are written against this class rather than
+// against a hard-coded norm: the paper's results hold in any metric space of
+// constant doubling dimension, and its sliding-window lower bound (§6) is
+// stated under L∞, so both norms must be first-class.  The Custom kind lets
+// adopters plug in any distance over coordinate tuples (e.g. a weighted
+// norm or a learned embedding distance); correctness of the paper's
+// guarantees then requires that the supplied function is a metric with
+// bounded doubling dimension — the triangle inequality and packing bounds
+// are used throughout.  The doubling dimension of R^d is Θ(d) under each
+// built-in norm; `doubling_dimension` returns the constant the size bounds
+// use.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "geometry/point.hpp"
+
+namespace kc {
+
+enum class Norm : std::uint8_t { L2, Linf, L1, Custom };
+
+/// User-supplied distance; must satisfy the metric axioms.
+using DistanceFn = std::function<double(const Point&, const Point&)>;
+
+class Metric {
+ public:
+  explicit Metric(Norm norm = Norm::L2) noexcept : norm_(norm) {
+    KC_EXPECTS(norm != Norm::Custom);  // Custom requires a function
+  }
+
+  /// Custom metric from a distance function.
+  explicit Metric(DistanceFn fn)
+      : norm_(Norm::Custom),
+        custom_(std::make_shared<DistanceFn>(std::move(fn))) {
+    KC_EXPECTS(static_cast<bool>(*custom_));
+  }
+
+  [[nodiscard]] Norm norm() const noexcept { return norm_; }
+
+  [[nodiscard]] double dist(const Point& a, const Point& b) const;
+
+  /// Monotone "fast key" — squared distance under L2 (avoids the sqrt in
+  /// inner loops); equals dist for every other kind.
+  [[nodiscard]] double dist_key(const Point& a, const Point& b) const;
+
+  /// Converts a key produced by dist_key back to a distance.
+  [[nodiscard]] double key_to_dist(double key) const noexcept;
+
+  /// Doubling dimension of (R^d, norm): the smallest D such that every ball
+  /// is covered by 2^D balls of half the radius.  For L∞ it is exactly d;
+  /// for L2/L1 it is Θ(d); custom metrics are the caller's responsibility
+  /// (we return d as the conventional parameter of the size bounds).
+  [[nodiscard]] static int doubling_dimension(int dim) noexcept { return dim; }
+
+  [[nodiscard]] const char* name() const noexcept;
+
+ private:
+  Norm norm_;
+  std::shared_ptr<const DistanceFn> custom_;
+};
+
+}  // namespace kc

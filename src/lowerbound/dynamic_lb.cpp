@@ -1,0 +1,140 @@
+#include "lowerbound/dynamic_lb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kc::lowerbound {
+
+namespace {
+
+// Emits group G^m: the (λ+1)^d grid with cell side 2^m, minus the
+// lexicographically smallest octant {all coordinates ≤ λ/2·2^m}.
+void emit_group(PointSet& out, const Point& base, int lambda, int m, int dim) {
+  const double side = std::pow(2.0, m);
+  const int half = lambda / 2;
+  std::vector<int> idx(static_cast<std::size_t>(dim), 0);
+  for (;;) {
+    bool in_octant = true;
+    for (int i = 0; i < dim; ++i)
+      if (idx[static_cast<std::size_t>(i)] > half) {
+        in_octant = false;
+        break;
+      }
+    if (!in_octant) {
+      Point p = base;
+      for (int i = 0; i < dim; ++i)
+        p[i] += side * static_cast<double>(idx[static_cast<std::size_t>(i)]);
+      out.push_back(p);
+    }
+    int i = 0;
+    for (; i < dim; ++i) {
+      if (++idx[static_cast<std::size_t>(i)] <= lambda) break;
+      idx[static_cast<std::size_t>(i)] = 0;
+    }
+    if (i == dim) return;
+  }
+}
+
+}  // namespace
+
+DynamicLb make_dynamic_lb(const DynamicLbConfig& cfg) {
+  const int d = cfg.dim;
+  KC_EXPECTS(d >= 1 && d <= Point::kMaxDim);
+  KC_EXPECTS(cfg.k >= 2 * d);
+  KC_EXPECTS(cfg.z >= 0);
+  KC_EXPECTS(cfg.delta >= 64);
+
+  DynamicLb lb;
+  lb.config = cfg;
+  double eps = cfg.eps;
+  if (eps <= 0.0) eps = 1.0 / (8.0 * d);
+  KC_EXPECTS(eps <= 1.0 / (8.0 * d) + 1e-12);
+  // λ = 1/(4dε) with λ/2 an integer (the paper's WLOG): round up to even.
+  int lambda = static_cast<int>(std::ceil(1.0 / (4.0 * d * eps) - 1e-9));
+  if (lambda % 2 != 0) ++lambda;
+  lb.lambda = lambda;
+  lb.config.eps = 1.0 / (4.0 * d * lambda);
+  lb.h = d * (lambda + 2) / 2.0;
+  lb.r = std::sqrt(lb.h * lb.h - 2.0 * lb.h + d);
+  lb.groups = std::max(
+      1, static_cast<int>(0.5 * std::log2(static_cast<double>(cfg.delta))) - 2);
+  lb.clusters = cfg.k - 2 * d + 1;
+
+  const double gap =
+      std::pow(2.0, lb.groups + 2) * (lb.h + lb.r);  // 2^{g+2}(h+r)
+  const double cluster_extent =
+      static_cast<double>(lambda) * std::pow(2.0, lb.groups);
+
+  // Outliers along the negative first axis, spaced by the same gap.
+  for (std::int64_t i = 1; i <= cfg.z; ++i) {
+    Point o(d, 0.0);
+    o[0] = -gap * static_cast<double>(i);
+    lb.points.push_back(o);
+    lb.group_of.push_back(0);
+    lb.cluster_of.push_back(-1);
+  }
+  // Clusters with nested groups G^1..G^g.
+  for (int c = 0; c < lb.clusters; ++c) {
+    Point base(d, 0.0);
+    base[0] = static_cast<double>(c) * (cluster_extent + gap);
+    for (int m = 1; m <= lb.groups; ++m) {
+      const std::size_t before = lb.points.size();
+      emit_group(lb.points, base, lambda, m, d);
+      for (std::size_t i = before; i < lb.points.size(); ++i) {
+        lb.group_of.push_back(m);
+        lb.cluster_of.push_back(c);
+      }
+    }
+  }
+  KC_ENSURES(lb.group_of.size() == lb.points.size());
+  return lb;
+}
+
+double DynamicLb::coordinate_span() const {
+  double lo = 0.0, hi = 0.0;
+  for (const auto& p : points)
+    for (int i = 0; i < config.dim; ++i) {
+      lo = std::min(lo, p[i]);
+      hi = std::max(hi, p[i]);
+    }
+  return hi - lo;
+}
+
+WeightedSet DynamicLb::continuation(const Point& p_star, int m_star) const {
+  const double scale = std::pow(2.0, m_star);
+  WeightedSet out;
+  for (int j = 0; j < config.dim; ++j) {
+    Point plus = p_star;
+    plus[j] += scale * (h + r);
+    Point minus = p_star;
+    minus[j] -= scale * (h + r);
+    out.push_back({plus, 2});
+    out.push_back({minus, 2});
+  }
+  return out;
+}
+
+PointSet DynamicLb::witness_centers(const Point& p_star, int m_star) const {
+  const double scale = std::pow(2.0, m_star);
+  PointSet out;
+  for (int j = 0; j < config.dim; ++j) {
+    Point plus = p_star;
+    plus[j] += scale * h;
+    Point minus = p_star;
+    minus[j] -= scale * h;
+    out.push_back(plus);
+    out.push_back(minus);
+  }
+  return out;
+}
+
+PointSet DynamicLb::after_deletions(int m_star) const {
+  PointSet out;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (group_of[i] <= m_star) out.push_back(points[i]);
+  return out;
+}
+
+}  // namespace kc::lowerbound

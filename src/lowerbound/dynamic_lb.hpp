@@ -1,0 +1,63 @@
+// Lower-bound construction for the fully dynamic streaming model
+// (paper §5.2, Theorem 28, Figure 5): Ω((k/ε^d)·log Δ + z).
+//
+// Each cluster C_i consists of g = ½log2(Δ) − 2 groups G_i^1..G_i^g; group
+// G_i^m is a (λ+1)^d integer grid with cell side 2^m minus its
+// lexicographically smallest octant — the omitted octant hosts the smaller
+// groups recursively, so each group contributes (λ+1)^d − (λ/2+1)^d
+// = Ω(1/ε^d) points and the whole cluster Ω((1/ε^d)·log Δ).  The
+// adversarial continuation for a dropped point p* ∈ G_{i*}^{m*} deletes all
+// groups of scale ≥ m* (other than p*'s own members below m*) and inserts
+// the P± points at distance 2^{m*}(h+r), replaying the insertion-only
+// argument at scale 2^{m*}.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "geometry/grid.hpp"
+
+namespace kc::lowerbound {
+
+struct DynamicLbConfig {
+  int dim = 2;
+  int k = 5;            ///< ≥ 2d
+  std::int64_t z = 2;
+  std::int64_t delta = 1 << 12;  ///< Δ; must satisfy Δ ≥ ((2k+z)(1/4ε+d))²
+  double eps = 0.0;     ///< 0 → largest admissible 1/(8d)
+};
+
+struct DynamicLb {
+  DynamicLbConfig config;
+  int lambda = 0;       ///< λ with λ/2 integer
+  double h = 0.0, r = 0.0;
+  int groups = 0;       ///< g = ½log2 Δ − 2
+  int clusters = 0;     ///< k − 2d + 1
+
+  /// All points (real coordinates — integer-valued by construction, before
+  /// the translation to [Δ]^d).
+  PointSet points;
+  /// group_of[i] = scale m ∈ [1..g] of point i, or 0 for outliers.
+  std::vector<int> group_of;
+  /// cluster_of[i] = cluster index ∈ [0..clusters), or −1 for outliers.
+  std::vector<int> cluster_of;
+
+  /// Maximum coordinate span Δ' (must be ≤ Δ — verified by tests).
+  [[nodiscard]] double coordinate_span() const;
+
+  /// Continuation for a dropped p* of scale m*: the P± points at distance
+  /// 2^{m*}(h+r) along each axis, weight 2 each.
+  [[nodiscard]] WeightedSet continuation(const Point& p_star, int m_star) const;
+  /// Witness centers at distance 2^{m*}·h (Claim-14 analogue at scale m*).
+  [[nodiscard]] PointSet witness_centers(const Point& p_star, int m_star) const;
+
+  /// Points remaining after the adversary deletes every group of scale
+  /// ≥ m_star in all clusters (the continuation's deletion phase).
+  [[nodiscard]] PointSet after_deletions(int m_star) const;
+};
+
+[[nodiscard]] DynamicLb make_dynamic_lb(const DynamicLbConfig& cfg);
+
+}  // namespace kc::lowerbound

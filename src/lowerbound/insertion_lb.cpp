@@ -1,0 +1,122 @@
+#include "lowerbound/insertion_lb.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kc::lowerbound {
+
+namespace {
+
+// Enumerates the integer grid {0..λ}^d shifted by `base`.
+void emit_grid(PointSet& out, const Point& base, int lambda, int dim) {
+  std::vector<int> idx(static_cast<std::size_t>(dim), 0);
+  for (;;) {
+    Point p = base;
+    for (int i = 0; i < dim; ++i)
+      p[i] += static_cast<double>(idx[static_cast<std::size_t>(i)]);
+    out.push_back(p);
+    int i = 0;
+    for (; i < dim; ++i) {
+      if (++idx[static_cast<std::size_t>(i)] <= lambda) break;
+      idx[static_cast<std::size_t>(i)] = 0;
+    }
+    if (i == dim) return;
+  }
+}
+
+}  // namespace
+
+InsertionLb make_insertion_lb(const InsertionLbConfig& cfg) {
+  const int d = cfg.dim;
+  KC_EXPECTS(d >= 1 && d <= Point::kMaxDim);
+  KC_EXPECTS(cfg.k >= 2 * d);
+  KC_EXPECTS(cfg.z >= 0);
+
+  InsertionLb lb;
+  lb.config = cfg;
+  // λ = 1/(4dε) must be a positive integer: with the default ε = 1/(8d),
+  // λ = 2.  For smaller ε we round λ up (equivalently shrink ε slightly,
+  // which only strengthens the requirement).
+  double eps = cfg.eps;
+  if (eps <= 0.0) eps = 1.0 / (8.0 * d);
+  KC_EXPECTS(eps <= 1.0 / (8.0 * d) + 1e-12);
+  const int lambda =
+      static_cast<int>(std::ceil(1.0 / (4.0 * d * eps) - 1e-9));
+  lb.config.eps = 1.0 / (4.0 * d * lambda);  // exact ε for integer λ
+  lb.lambda = lambda;
+  lb.h = d * (lambda + 2) / 2.0;
+  lb.r = std::sqrt(lb.h * lb.h - 2.0 * lb.h + d);
+  lb.clusters = cfg.k - 2 * d + 1;
+  lb.cluster_size = 1;
+  for (int i = 0; i < d; ++i)
+    lb.cluster_size *= static_cast<std::size_t>(lambda + 1);
+
+  const double gap = 4.0 * (lb.h + lb.r);
+
+  // Outliers o_i = (−4(h+r)·i, 0, …, 0), i = 1..z.
+  for (std::int64_t i = 1; i <= cfg.z; ++i) {
+    Point o(d, 0.0);
+    o[0] = -gap * static_cast<double>(i);
+    lb.outlier_indices.push_back(lb.points.size());
+    lb.points.push_back(o);
+  }
+  // Clusters: grids of side λ, consecutive clusters shifted by λ + 4(h+r).
+  for (int c = 0; c < lb.clusters; ++c) {
+    lb.cluster_offsets.push_back(lb.points.size());
+    Point base(d, 0.0);
+    base[0] = static_cast<double>(c) * (lambda + gap);
+    emit_grid(lb.points, base, lambda, d);
+  }
+  return lb;
+}
+
+WeightedSet InsertionLb::continuation(const Point& p_star) const {
+  const int d = config.dim;
+  WeightedSet out;
+  out.reserve(2 * static_cast<std::size_t>(d));
+  for (int j = 0; j < d; ++j) {
+    Point plus = p_star;
+    plus[j] += h + r;
+    Point minus = p_star;
+    minus[j] -= h + r;
+    out.push_back({plus, 2});
+    out.push_back({minus, 2});
+  }
+  return out;
+}
+
+PointSet InsertionLb::witness_centers(const Point& p_star) const {
+  const int d = config.dim;
+  PointSet out;
+  out.reserve(2 * static_cast<std::size_t>(d));
+  for (int j = 0; j < d; ++j) {
+    Point plus = p_star;
+    plus[j] += h;
+    Point minus = p_star;
+    minus[j] -= h;
+    out.push_back(plus);
+    out.push_back(minus);
+  }
+  return out;
+}
+
+bool InsertionLb::lemma41_holds() const {
+  return r < (1.0 - config.eps) * (r + h) / 2.0;
+}
+
+OmegaZLb make_omega_z_lb(int k, std::int64_t z) {
+  KC_EXPECTS(k >= 1);
+  KC_EXPECTS(z >= 0);
+  OmegaZLb lb;
+  lb.k = k;
+  lb.z = z;
+  const std::int64_t n = static_cast<std::int64_t>(k) + z;
+  lb.points.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 1; i <= n; ++i)
+    lb.points.push_back(Point{static_cast<double>(i)});
+  lb.next = Point{static_cast<double>(n + 1)};
+  return lb;
+}
+
+}  // namespace kc::lowerbound

@@ -1,0 +1,75 @@
+// Lower-bound constructions for the insertion-only streaming model
+// (paper §4.1–§4.2, Figures 2, 3, 4, 8).
+//
+// Lemma 12 (Ω(k/ε^d)): z outliers on the negative x-axis plus k−2d+1
+// clusters, each a d-dimensional integer grid of side λ = 1/(4dε).  If a
+// coreset drops any cluster point p*, the adversary appends the 2d points
+// P⁺ ∪ P⁻ at distance h+r from p* along each axis; then
+//   * optk,z(P(t')) ≥ (h+r)/2                         (Claim 13),
+//   * optk,z(P*(t')) ≤ r  — 2d balls of radius r centred at c_j^± cover
+//     Ci* ∪ P⁺ ∪ P⁻ minus p*                          (Claims 14/38),
+//   * r < (1−ε)(h+r)/2                                 (Lemma 41),
+// so the coreset underestimates the optimum by more than a (1−ε) factor.
+//
+// Lemma 15 (Ω(k+z), also randomized): the line instance p_i = i.
+//
+// The generators expose every derived quantity (λ, h, r) and the explicit
+// witness covers, so tests and the FIG2-3/FIG4/FIG8 benches can verify each
+// claim numerically with the exact radius evaluator.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace kc::lowerbound {
+
+struct InsertionLbConfig {
+  int dim = 2;
+  int k = 5;            ///< must be ≥ 2d
+  std::int64_t z = 3;
+  double eps = 0.0;     ///< 0 → use the largest admissible ε = 1/(8d)
+};
+
+struct InsertionLb {
+  InsertionLbConfig config;
+  double lambda = 0.0;  ///< grid side λ = 1/(4dε), integer by construction
+  double h = 0.0;       ///< d(λ+2)/2
+  double r = 0.0;       ///< √(h²−2h+d)
+  int clusters = 0;     ///< k − 2d + 1
+  std::size_t cluster_size = 0;  ///< (λ+1)^d
+
+  PointSet points;                 ///< P(t): outliers then clusters
+  std::vector<std::size_t> outlier_indices;
+  /// start index of each cluster in `points` (clusters are contiguous).
+  std::vector<std::size_t> cluster_offsets;
+
+  /// The adversarial continuation for a dropped point p*: the 2d points of
+  /// P⁺ ∪ P⁻ (each of weight 2 per the paper).
+  [[nodiscard]] WeightedSet continuation(const Point& p_star) const;
+
+  /// The 2d witness centers c_j^± at distance h from p* along each axis;
+  /// balls of radius r around them cover Ci* ∪ P⁺ ∪ P⁻ \ {p*} (Claim 38).
+  [[nodiscard]] PointSet witness_centers(const Point& p_star) const;
+
+  /// Lemma 41: r < (1−ε)(h+r)/2 must hold.
+  [[nodiscard]] bool lemma41_holds() const;
+};
+
+/// Builds the Lemma-12 instance.  Requires k ≥ 2d and ε ≤ 1/(8d); λ is
+/// rounded up so 1/(4dε) is an integer (the paper's WLOG).
+[[nodiscard]] InsertionLb make_insertion_lb(const InsertionLbConfig& cfg);
+
+/// Lemma 15 line instance: points 1..k+z on the line, plus the (k+z+1)-st
+/// continuation point.
+struct OmegaZLb {
+  PointSet points;       ///< p_i = i, i = 1..k+z
+  Point next;            ///< p_{k+z+1}
+  int k = 0;
+  std::int64_t z = 0;
+};
+[[nodiscard]] OmegaZLb make_omega_z_lb(int k, std::int64_t z);
+
+}  // namespace kc::lowerbound

@@ -1,0 +1,185 @@
+#include "lowerbound/sliding_lb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/box.hpp"
+#include "util/check.hpp"
+
+namespace kc::lowerbound {
+
+namespace {
+
+// The lexicographically smallest `count` points of the grid {0..ζ}^d with
+// cell side `side`, offset by `base`.
+PointSet lex_smallest_grid_points(const Point& base, int zeta, double side,
+                                  int dim, std::int64_t count) {
+  PointSet out;
+  std::vector<int> idx(static_cast<std::size_t>(dim), 0);
+  while (static_cast<std::int64_t>(out.size()) < count) {
+    Point p = base;
+    for (int i = 0; i < dim; ++i)
+      p[i] += side * static_cast<double>(idx[static_cast<std::size_t>(i)]);
+    out.push_back(p);
+    // lexicographic increment: last coordinate varies fastest
+    int i = dim - 1;
+    for (; i >= 0; --i) {
+      if (++idx[static_cast<std::size_t>(i)] <= zeta) break;
+      idx[static_cast<std::size_t>(i)] = 0;
+    }
+    KC_EXPECTS(i >= 0 || static_cast<std::int64_t>(out.size()) >= count);
+  }
+  return out;
+}
+
+// Γ_j: the odd cells of the (2λ−1)^d grid Π_j, minus the lexicographically
+// smallest octant {∀i: π_i ≤ λ}.  Returned as 1-based cell labels.
+std::vector<std::vector<int>> gamma_cells(int lambda, int dim) {
+  std::vector<std::vector<int>> cells;
+  std::vector<int> pi(static_cast<std::size_t>(dim), 1);
+  for (;;) {
+    bool odd = true;
+    for (int i = 0; i < dim; ++i)
+      if (pi[static_cast<std::size_t>(i)] % 2 == 0) odd = false;
+    bool in_octant = true;
+    for (int i = 0; i < dim; ++i)
+      if (pi[static_cast<std::size_t>(i)] > lambda) in_octant = false;
+    if (odd && !in_octant) cells.push_back(pi);
+    int i = dim - 1;
+    for (; i >= 0; --i) {
+      if (++pi[static_cast<std::size_t>(i)] <= 2 * lambda - 1) break;
+      pi[static_cast<std::size_t>(i)] = 1;
+    }
+    if (i < 0) break;
+  }
+  return cells;
+}
+
+}  // namespace
+
+SlidingLb make_sliding_lb(const SlidingLbConfig& cfg) {
+  const int d = cfg.dim;
+  KC_EXPECTS(d >= 1 && d <= Point::kMaxDim);
+  KC_EXPECTS(cfg.k >= 2 * d);
+  KC_EXPECTS(cfg.z >= 1);
+  KC_EXPECTS(cfg.eps <= 1.0 / 24.0 + 1e-12);
+
+  SlidingLb lb;
+  lb.config = cfg;
+  int lambda = static_cast<int>(std::ceil(1.0 / (8.0 * cfg.eps) - 1e-9));
+  if (lambda % 2 == 0) ++lambda;  // λ odd (paper's WLOG)
+  lb.lambda = lambda;
+  lb.config.eps = 1.0 / (8.0 * lambda);
+  lb.groups = std::max(
+      1, static_cast<int>(0.5 * std::log2(cfg.sigma)) - 1);
+  lb.zeta = std::max(
+      1, static_cast<int>(std::floor(std::pow(static_cast<double>(cfg.z),
+                                              1.0 / d))));
+  const auto lam_d = static_cast<std::int64_t>(std::pow(lambda, d));
+  const auto half_d = static_cast<std::int64_t>(std::pow((lambda + 1) / 2, d));
+  lb.subgroups = static_cast<int>(lam_d - half_d);
+  KC_EXPECTS(lb.subgroups >= 1);
+
+  const int clusters = cfg.k - 2 * d + 1;
+  const double zeta = lb.zeta;
+  const double top_extent =
+      std::pow(2.0, lb.groups) * zeta * (2.0 * lambda - 1.0);
+  const double gap = 3.0 * std::pow(2.0, lb.groups) * zeta * (2.0 * lambda);
+
+  // Assemble per (cluster, group, subgroup), then order arrivals by
+  // (j desc, ℓ desc, i desc) as the paper specifies.
+  struct Piece {
+    int cluster, group, subgroup;
+    PointSet pts;
+  };
+  std::vector<Piece> pieces;
+  const auto cells = gamma_cells(lambda, d);
+  KC_EXPECTS(static_cast<int>(cells.size()) == lb.subgroups);
+
+  for (int c = 0; c < clusters; ++c) {
+    Point cluster_base(d, 0.0);
+    cluster_base[0] = static_cast<double>(c) * (top_extent + gap);
+    for (int j = 1; j <= lb.groups; ++j) {
+      const double cell_side = std::pow(2.0, j) * zeta;  // Π_j cell side
+      for (int l = 1; l <= lb.subgroups; ++l) {
+        const auto& pi = cells[static_cast<std::size_t>(l - 1)];
+        Point base = cluster_base;
+        for (int i = 0; i < d; ++i)
+          base[i] += cell_side *
+                     static_cast<double>(pi[static_cast<std::size_t>(i)] - 1);
+        Piece piece;
+        piece.cluster = c;
+        piece.group = j;
+        piece.subgroup = l;
+        piece.pts = lex_smallest_grid_points(base, lb.zeta, std::pow(2.0, j),
+                                             d, cfg.z + 1);
+        pieces.push_back(std::move(piece));
+      }
+    }
+  }
+  std::sort(pieces.begin(), pieces.end(), [](const Piece& a, const Piece& b) {
+    if (a.group != b.group) return a.group > b.group;
+    if (a.subgroup != b.subgroup) return a.subgroup > b.subgroup;
+    return a.cluster > b.cluster;
+  });
+  for (const auto& piece : pieces) {
+    for (const auto& p : piece.pts) {
+      lb.points.push_back(p);
+      lb.tags.push_back({piece.cluster, piece.group, piece.subgroup});
+    }
+  }
+  return lb;
+}
+
+PointSet SlidingLb::adversarial_sets(const PointSet& subgroup,
+                                     int j_star) const {
+  KC_EXPECTS(!subgroup.empty());
+  const int d = config.dim;
+  const double zeta = this->zeta;
+  const double offset = std::pow(2.0, j_star) * zeta * (2.0 * lambda);
+  const auto z = config.z;
+
+  PointSet out;
+  for (int alpha = 0; alpha < d; ++alpha) {
+    double lo = subgroup[0][alpha], hi = subgroup[0][alpha];
+    std::vector<double> lo_all(static_cast<std::size_t>(d)),
+        hi_all(static_cast<std::size_t>(d));
+    for (int b = 0; b < d; ++b) {
+      lo_all[static_cast<std::size_t>(b)] = subgroup[0][b];
+      hi_all[static_cast<std::size_t>(b)] = subgroup[0][b];
+      for (const auto& q : subgroup) {
+        lo_all[static_cast<std::size_t>(b)] =
+            std::min(lo_all[static_cast<std::size_t>(b)], q[b]);
+        hi_all[static_cast<std::size_t>(b)] =
+            std::max(hi_all[static_cast<std::size_t>(b)], q[b]);
+      }
+    }
+    lo = lo_all[static_cast<std::size_t>(alpha)];
+    hi = hi_all[static_cast<std::size_t>(alpha)];
+    for (std::int64_t iota = 0; iota <= z; ++iota) {
+      Point plus(d), minus(d);
+      for (int b = 0; b < d; ++b) {
+        const double span = hi_all[static_cast<std::size_t>(b)] -
+                            lo_all[static_cast<std::size_t>(b)];
+        const double interp =
+            lo_all[static_cast<std::size_t>(b)] +
+            (z > 0 ? static_cast<double>(iota) * span / static_cast<double>(z)
+                   : 0.0);
+        plus[b] = interp;
+        minus[b] = interp;
+      }
+      plus[alpha] = hi + offset;
+      minus[alpha] = lo - offset;
+      out.push_back(plus);
+      out.push_back(minus);
+    }
+  }
+  return out;
+}
+
+double SlidingLb::spread_ratio() const {
+  const Metric linf{Norm::Linf};
+  return compute_spread(points, linf).ratio();
+}
+
+}  // namespace kc::lowerbound

@@ -1,0 +1,63 @@
+// Lower-bound construction for the sliding-window model (paper §6,
+// Theorem 30, Figures 6–7): Ω((kz/ε^d)·log σ) under L∞.
+//
+// λ = 1/(8ε) (odd), g = ½log2(σ) − 1, ζ = ⌊z^{1/d}⌋,
+// s = λ^d − ((λ+1)/2)^d.  Each of the k−2d+1 clusters consists of g groups;
+// group j consists of s subgroups of z+1 points each (the lexicographically
+// smallest z+1 points of a (ζ+1)^d grid with cell side 2^j), the subgroups
+// sitting in the odd cells of a (2λ−1)^d grid Π_j with cell side 2^j·ζ
+// minus its smallest octant (which recursively hosts groups < j).
+//
+// Points arrive in decreasing (j, ℓ, i) order, so every point's expiration
+// time is distinct and meaningful.  Claim 31: if the algorithm forgets the
+// expiration time of p* ∈ G_{i*}^{j*,ℓ*}, the adversary inserts the 2d
+// point sets P_α^± (z+1 points each at L∞ distance 2^{j*}ζ·2λ) and
+// re-inserts expiring subgroup members, making
+//   opt(t⁻) ≥ 2^{j*}ζλ   and   opt(t⁺) ≤ 2^{j*}ζ(2λ−1)/2,
+// a ratio of 1 − 1/(2λ) = 1 − 4ε < 1 − 3ε.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace kc::lowerbound {
+
+struct SlidingLbConfig {
+  int dim = 2;
+  int k = 5;          ///< ≥ 2d
+  std::int64_t z = 4;
+  double sigma = 1 << 10;  ///< target spread ratio; must be ≥ (kz/ε)²
+  double eps = 1.0 / 24.0; ///< ≤ 1/24
+};
+
+struct SlidingLb {
+  SlidingLbConfig config;
+  int lambda = 0;   ///< odd λ = 1/(8ε)
+  int groups = 0;   ///< g
+  int zeta = 0;     ///< ζ = ⌊z^{1/d}⌋
+  int subgroups = 0;///< s per group
+
+  /// Arrival-ordered stream; arrival time of points[i] is i (one per tick).
+  PointSet points;
+  struct Tag {
+    int cluster = -1;   ///< cluster index
+    int group = 0;      ///< j (1..g)
+    int subgroup = 0;   ///< ℓ (1..s)
+  };
+  std::vector<Tag> tags;
+
+  /// The 2d adversarial sets P_α^± for a dropped p* in subgroup (j*, ℓ*):
+  /// 2d·(z+1) points (Claim 31's insertion phase).
+  [[nodiscard]] PointSet adversarial_sets(const PointSet& subgroup,
+                                          int j_star) const;
+
+  /// L∞ spread ratio σ' of the construction (must be ≤ σ).
+  [[nodiscard]] double spread_ratio() const;
+};
+
+[[nodiscard]] SlidingLb make_sliding_lb(const SlidingLbConfig& cfg);
+
+}  // namespace kc::lowerbound

@@ -1,0 +1,74 @@
+#include "mpc/ceccarello.hpp"
+
+#include <cmath>
+
+#include "core/coreset.hpp"
+#include "core/gonzalez.hpp"
+#include "core/mbc.hpp"
+#include "util/check.hpp"
+
+namespace kc::mpc {
+
+CeccarelloResult ceccarello_coreset(const std::vector<WeightedSet>& parts,
+                                    int k, std::int64_t z,
+                                    const Metric& metric,
+                                    const CeccarelloOptions& opt) {
+  KC_EXPECTS(!parts.empty());
+  const int m = static_cast<int>(parts.size());
+  int dim = 1;
+  for (const auto& part : parts)
+    if (!part.empty()) {
+      dim = part.front().p.dim();
+      break;
+    }
+
+  // τ = (k+z)·⌈4/ε⌉^d + 1: the multiplicative-z per-machine budget.
+  const auto per_center = static_cast<std::int64_t>(
+      std::pow(std::ceil(4.0 / opt.eps), dim));
+  const std::int64_t tau = (static_cast<std::int64_t>(k) + z) * per_center + 1;
+
+  Simulator sim(m, dim);
+  std::vector<WeightedSet> local(static_cast<std::size_t>(m));
+
+  sim.round([&](int id, std::vector<Message>& /*inbox*/,
+                std::vector<Message>& outbox) {
+    const auto uid = static_cast<std::size_t>(id);
+    const WeightedSet& mine = parts[uid];
+    sim.record_storage(id, sim.point_words(mine.size()));
+    if (!mine.empty()) {
+      const GonzalezResult g = gonzalez(
+          mine,
+          static_cast<int>(std::min<std::int64_t>(
+              tau, static_cast<std::int64_t>(mine.size()))),
+          metric);
+      local[uid] = gonzalez_summary(mine, g);
+    }
+    sim.record_storage(id, sim.point_words(mine.size() + local[uid].size()));
+    if (id != 0) {
+      Message msg;
+      msg.to = 0;
+      msg.points = local[uid];
+      outbox.push_back(std::move(msg));
+    }
+  });
+
+  CeccarelloResult result;
+  result.tau = tau;
+  std::vector<WeightedSet> received;
+  received.push_back(local[0]);
+  result.local_coreset_sizes.push_back(local[0].size());
+  for (const auto& msg : sim.inbox(0)) {
+    received.push_back(msg.points);
+    result.local_coreset_sizes.push_back(msg.points.size());
+  }
+  result.merged = merge_coresets(received);
+  const MiniBallCovering final_mbc =
+      recompress(result.merged, k, z, opt.eps, metric, opt.oracle);
+  sim.record_storage(0, sim.point_words(parts[0].size() + result.merged.size() +
+                                        final_mbc.reps.size()));
+  result.coreset = final_mbc.reps;
+  result.stats = sim.stats();
+  return result;
+}
+
+}  // namespace kc::mpc

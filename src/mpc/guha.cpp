@@ -1,0 +1,60 @@
+#include "mpc/guha.hpp"
+
+#include "core/coreset.hpp"
+#include "core/mbc.hpp"
+#include "util/check.hpp"
+
+namespace kc::mpc {
+
+GuhaResult guha_local_z_coreset(const std::vector<WeightedSet>& parts, int k,
+                                std::int64_t z, const Metric& metric,
+                                const GuhaOptions& opt) {
+  KC_EXPECTS(!parts.empty());
+  const int m = static_cast<int>(parts.size());
+  int dim = 1;
+  for (const auto& part : parts)
+    if (!part.empty()) {
+      dim = part.front().p.dim();
+      break;
+    }
+
+  Simulator sim(m, dim);
+  std::vector<MiniBallCovering> local(static_cast<std::size_t>(m));
+
+  sim.round([&](int id, std::vector<Message>& /*inbox*/,
+                std::vector<Message>& outbox) {
+    const auto uid = static_cast<std::size_t>(id);
+    const WeightedSet& mine = parts[uid];
+    sim.record_storage(id, sim.point_words(mine.size()));
+    // Full local budget z: correct under any distribution (every subset
+    // satisfies optk,z(P_i) ≤ optk,z(P)), but pays +z per machine.
+    MiniBallCovering mbc = mbc_construct(mine, k, z, opt.eps, metric, opt.oracle);
+    sim.record_storage(id, sim.point_words(mine.size() + mbc.reps.size()));
+    if (id != 0) {
+      Message msg;
+      msg.to = 0;
+      msg.points = mbc.reps;
+      outbox.push_back(std::move(msg));
+    }
+    local[uid] = std::move(mbc);
+  });
+
+  GuhaResult result;
+  std::vector<WeightedSet> received;
+  received.push_back(local[0].reps);
+  result.local_coreset_sizes.push_back(local[0].reps.size());
+  for (const auto& msg : sim.inbox(0)) {
+    received.push_back(msg.points);
+    result.local_coreset_sizes.push_back(msg.points.size());
+  }
+  result.merged = merge_coresets(received);
+  const MiniBallCovering final_mbc =
+      recompress(result.merged, k, z, opt.eps, metric, opt.oracle);
+  sim.record_storage(0, sim.point_words(parts[0].size() + result.merged.size() +
+                                        final_mbc.reps.size()));
+  result.coreset = final_mbc.reps;
+  result.stats = sim.stats();
+  return result;
+}
+
+}  // namespace kc::mpc

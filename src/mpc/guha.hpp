@@ -1,0 +1,38 @@
+// Ablation baseline: Guha–Li–Zhang-style local-z aggregation [29].
+//
+// Without the paper's outlier-guessing mechanism a worker cannot know how
+// many of the global z outliers it holds, so the safe choice is to build
+// its local covering with the *full* budget z (every machine pays the
+// additive z in its summary size, and the coordinator receives Θ(m·z)
+// outlier candidates in the worst case).  This is the method the paper's
+// §3 discussion credits to [29] and improves from linear to logarithmic
+// dependence on z (see ABL-GUESS in DESIGN.md).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/radius_oracle.hpp"
+#include "core/types.hpp"
+#include "mpc/simulator.hpp"
+
+namespace kc::mpc {
+
+struct GuhaOptions {
+  double eps = 0.5;
+  OracleOptions oracle;
+};
+
+struct GuhaResult {
+  WeightedSet coreset;
+  WeightedSet merged;
+  std::vector<std::size_t> local_coreset_sizes;
+  MpcStats stats;
+};
+
+[[nodiscard]] GuhaResult guha_local_z_coreset(
+    const std::vector<WeightedSet>& parts, int k, std::int64_t z,
+    const Metric& metric, const GuhaOptions& opt = {});
+
+}  // namespace kc::mpc

@@ -1,0 +1,70 @@
+#include "mpc/multi_round.hpp"
+
+#include <cmath>
+
+#include "core/coreset.hpp"
+#include "core/mbc.hpp"
+#include "util/check.hpp"
+
+namespace kc::mpc {
+
+MultiRoundResult multi_round_coreset(const std::vector<WeightedSet>& parts,
+                                     int k, std::int64_t z,
+                                     const Metric& metric,
+                                     const MultiRoundOptions& opt) {
+  KC_EXPECTS(!parts.empty());
+  KC_EXPECTS(opt.rounds >= 1);
+  const int m = static_cast<int>(parts.size());
+  int dim = 1;
+  for (const auto& part : parts)
+    if (!part.empty()) {
+      dim = part.front().p.dim();
+      break;
+    }
+
+  // β = ⌈m^{1/R}⌉; after R rounds a single machine remains.
+  const int beta = std::max(
+      2, static_cast<int>(std::ceil(
+             std::pow(static_cast<double>(m), 1.0 / opt.rounds))));
+
+  Simulator sim(m, dim);
+  std::vector<WeightedSet> holdings = parts;
+
+  int active = m;
+  for (int t = 0; t < opt.rounds; ++t) {
+    const int next_active = (active + beta - 1) / beta;
+    sim.round([&](int id, std::vector<Message>& /*inbox*/,
+                  std::vector<Message>& outbox) {
+      if (id >= active) return;
+      const auto uid = static_cast<std::size_t>(id);
+      const WeightedSet& mine = holdings[uid];
+      sim.record_storage(id, sim.point_words(mine.size()));
+      MiniBallCovering mbc =
+          mbc_construct(mine, k, z, opt.eps, metric, opt.oracle);
+      sim.record_storage(id, sim.point_words(mine.size() + mbc.reps.size()));
+      Message msg;
+      msg.to = id / beta;  // 0-indexed fan-in target (self for id < beta)
+      msg.points = std::move(mbc.reps);
+      outbox.push_back(std::move(msg));
+    });
+    // New holdings = everything received this round.
+    for (auto& h : holdings) h.clear();
+    for (int id = 0; id < next_active; ++id) {
+      auto& h = holdings[static_cast<std::size_t>(id)];
+      for (auto& msg : sim.inbox(id))
+        h.insert(h.end(), msg.points.begin(), msg.points.end());
+      sim.record_storage(id, sim.point_words(h.size()));
+    }
+    active = next_active;
+  }
+  KC_ENSURES(active == 1);
+
+  MultiRoundResult result;
+  result.coreset = std::move(holdings[0]);
+  result.eps_effective = compose_eps_rounds(opt.eps, opt.rounds);
+  result.beta = beta;
+  result.stats = sim.stats();
+  return result;
+}
+
+}  // namespace kc::mpc

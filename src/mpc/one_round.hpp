@@ -1,0 +1,43 @@
+// Algorithm 6: the randomized 1-round MPC coreset (paper §7.1, Theorem 33).
+//
+// Assumes the input is distributed uniformly at random over the machines.
+// Then with probability ≥ 1 − 1/n² every machine holds at most
+// z' = min(6z/m + 3·log2 n, z) outliers (Lemma 32 / Chernoff), so each
+// machine can build an (ε, k, z')-mini-ball covering of its local set and
+// ship it to the coordinator in a single communication round.  The
+// coordinator merges (Lemma 4) and recompresses (Lemma 5).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/radius_oracle.hpp"
+#include "core/types.hpp"
+#include "mpc/simulator.hpp"
+
+namespace kc::mpc {
+
+struct OneRoundOptions {
+  double eps = 0.5;
+  OracleOptions oracle;
+};
+
+struct OneRoundResult {
+  WeightedSet coreset;
+  WeightedSet merged;
+  double eps_effective = 0.0;
+  std::int64_t z_local = 0;  ///< the per-machine outlier budget z'
+  std::vector<std::size_t> local_coreset_sizes;
+  MpcStats stats;
+};
+
+/// Runs Algorithm 6 on a pre-partitioned input (parts should come from
+/// PartitionKind::Random for the guarantee to hold; the algorithm itself is
+/// deterministic given the partition).  `n_total` is |P| (used for the
+/// 3·log n term).
+[[nodiscard]] OneRoundResult one_round_coreset(
+    const std::vector<WeightedSet>& parts, int k, std::int64_t z,
+    std::size_t n_total, const Metric& metric, const OneRoundOptions& opt = {});
+
+}  // namespace kc::mpc

@@ -1,0 +1,55 @@
+#include "mpc/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace kc::mpc {
+
+std::vector<WeightedSet> partition_points(const WeightedSet& pts, int m,
+                                          PartitionKind kind,
+                                          std::uint64_t seed) {
+  KC_EXPECTS(m >= 1);
+  std::vector<WeightedSet> parts(static_cast<std::size_t>(m));
+  switch (kind) {
+    case PartitionKind::Random: {
+      Rng rng(seed);
+      for (const auto& wp : pts)
+        parts[rng.uniform(static_cast<std::uint64_t>(m))].push_back(wp);
+      break;
+    }
+    case PartitionKind::EvenSorted: {
+      std::vector<std::size_t> order(pts.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return pts[a].p[0] < pts[b].p[0];
+      });
+      // Equal contiguous blocks of the sorted order.
+      const std::size_t n = pts.size();
+      for (std::size_t r = 0; r < n; ++r) {
+        const auto machine = static_cast<std::size_t>(
+            (r * static_cast<std::size_t>(m)) / std::max<std::size_t>(n, 1));
+        parts[machine].push_back(pts[order[r]]);
+      }
+      break;
+    }
+    case PartitionKind::RoundRobin: {
+      for (std::size_t i = 0; i < pts.size(); ++i)
+        parts[i % static_cast<std::size_t>(m)].push_back(pts[i]);
+      break;
+    }
+  }
+  return parts;
+}
+
+const char* partition_name(PartitionKind kind) noexcept {
+  switch (kind) {
+    case PartitionKind::Random: return "random";
+    case PartitionKind::EvenSorted: return "adversarial";
+    case PartitionKind::RoundRobin: return "round-robin";
+  }
+  return "?";
+}
+
+}  // namespace kc::mpc

@@ -1,0 +1,33 @@
+// Input distribution across MPC machines.
+//
+// The paper distinguishes two regimes: the deterministic 2-round algorithm
+// tolerates *arbitrary (adversarial) but even* distributions, while the
+// randomized 1-round algorithm assumes each point lands on a uniformly
+// random machine.  These generators produce both, plus the specifically
+// nasty case where all outliers concentrate on few machines.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "util/rng.hpp"
+
+namespace kc::mpc {
+
+enum class PartitionKind : std::uint8_t {
+  Random,       ///< each point to a uniform machine (1-round assumption)
+  EvenSorted,   ///< sort by first coordinate, equal contiguous blocks —
+                ///< clusters and outliers concentrate (adversarial)
+  RoundRobin,   ///< deterministic even spread in input order
+};
+
+/// Splits `pts` over m machines.  EvenSorted and RoundRobin yield sizes
+/// differing by at most 1 ("evenly"); Random is even in expectation.
+[[nodiscard]] std::vector<WeightedSet> partition_points(
+    const WeightedSet& pts, int m, PartitionKind kind, std::uint64_t seed);
+
+[[nodiscard]] const char* partition_name(PartitionKind kind) noexcept;
+
+}  // namespace kc::mpc

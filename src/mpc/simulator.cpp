@@ -1,0 +1,68 @@
+#include "mpc/simulator.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace kc::mpc {
+
+std::size_t MpcStats::max_worker_words() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < peak_words.size(); ++i)
+    best = std::max(best, peak_words[i]);
+  return best;
+}
+
+std::size_t MpcStats::coordinator_words() const {
+  return peak_words.empty() ? 0 : peak_words[0];
+}
+
+Simulator::Simulator(int m, int dim) : m_(m), dim_(dim) {
+  KC_EXPECTS(m >= 1);
+  KC_EXPECTS(dim >= 1);
+  inboxes_.resize(static_cast<std::size_t>(m));
+  stats_.machines = m;
+  stats_.dim = dim;
+  stats_.peak_words.assign(static_cast<std::size_t>(m), 0);
+}
+
+void Simulator::record_storage(int id, std::size_t words) {
+  KC_EXPECTS(id >= 0 && id < m_);
+  auto& peak = stats_.peak_words[static_cast<std::size_t>(id)];
+  peak = std::max(peak, words);
+}
+
+std::vector<Message>& Simulator::inbox(int id) {
+  KC_EXPECTS(id >= 0 && id < m_);
+  return inboxes_[static_cast<std::size_t>(id)];
+}
+
+void Simulator::round(const RoundFn& fn) {
+  std::vector<std::vector<Message>> outboxes(static_cast<std::size_t>(m_));
+
+#ifdef KCORESET_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (int id = 0; id < m_; ++id) {
+    fn(id, inboxes_[static_cast<std::size_t>(id)],
+       outboxes[static_cast<std::size_t>(id)]);
+  }
+
+  // Route messages; this is the communication phase of the round.
+  std::size_t round_words = 0;
+  for (auto& box : inboxes_) box.clear();
+  for (int from = 0; from < m_; ++from) {
+    for (auto& msg : outboxes[static_cast<std::size_t>(from)]) {
+      KC_EXPECTS(msg.to >= 0 && msg.to < m_);
+      msg.from = from;
+      // A self-addressed message is local data movement, not communication.
+      if (msg.to != from) round_words += msg.words(dim_);
+      inboxes_[static_cast<std::size_t>(msg.to)].push_back(std::move(msg));
+    }
+  }
+  stats_.comm_words_per_round.push_back(round_words);
+  stats_.total_comm_words += round_words;
+  ++stats_.rounds;
+}
+
+}  // namespace kc::mpc

@@ -1,0 +1,98 @@
+// MPC round simulator (paper §1, §3).
+//
+// Implements the abstract Massively Parallel Computing model the paper's
+// theorems are stated in: m machines (machine 0 is the coordinator M1),
+// synchronous communication rounds, and *measured* storage in machine
+// words.  The design mirrors MPI's message-passing discipline: a round is
+// local computation followed by message exchange; messages carry either
+// scalar vectors (the V_i radius tables of Algorithm 2) or weighted point
+// sets (coreset shipments).
+//
+// What we account, following the model rather than process RSS:
+//  * one coordinate = 1 word, so a weighted point in R^d = d+1 words;
+//  * a scalar = 1 word;
+//  * per-machine peak storage = max over rounds of (resident input points +
+//    received messages + locally built summaries), self-reported by the
+//    algorithms through `record_storage`;
+//  * per-round and total communication volume in words.
+//
+// Machine-local work within a round is embarrassingly parallel and is run
+// under OpenMP when available.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace kc::mpc {
+
+/// A message between machines.  Either payload may be empty.
+struct Message {
+  int from = 0;
+  int to = 0;
+  std::vector<double> scalars;
+  WeightedSet points;
+
+  /// Words on the wire: scalars + (dim+1) per weighted point.
+  [[nodiscard]] std::size_t words(int dim) const noexcept {
+    return scalars.size() + points.size() * static_cast<std::size_t>(dim + 1);
+  }
+};
+
+struct MpcStats {
+  int machines = 0;
+  int dim = 0;
+  int rounds = 0;  ///< communication rounds executed
+  std::vector<std::size_t> peak_words;  ///< per machine
+  std::vector<std::size_t> comm_words_per_round;
+  std::size_t total_comm_words = 0;
+
+  /// Peak storage over worker machines (ids ≥ 1).
+  [[nodiscard]] std::size_t max_worker_words() const;
+  /// Peak storage of the coordinator (id 0).
+  [[nodiscard]] std::size_t coordinator_words() const;
+};
+
+class Simulator {
+ public:
+  /// m ≥ 1 machines in dimension dim.  Machine 0 is the coordinator.
+  Simulator(int m, int dim);
+
+  [[nodiscard]] int machines() const noexcept { return m_; }
+  [[nodiscard]] int dim() const noexcept { return dim_; }
+
+  /// Registers `words` as currently resident on machine `id`; the peak is
+  /// tracked.  Algorithms call this with their full resident footprint at
+  /// the moments it is largest (after receiving, after building summaries).
+  void record_storage(int id, std::size_t words);
+
+  /// Account for the words of a weighted point set.
+  [[nodiscard]] std::size_t point_words(std::size_t count) const noexcept {
+    return count * static_cast<std::size_t>(dim_ + 1);
+  }
+
+  /// Executes one synchronous round: `fn(id, inbox, outbox)` runs for every
+  /// machine (in parallel when OpenMP is enabled), then outgoing messages
+  /// are routed and become the next round's inboxes.  Communication volume
+  /// is accounted per round.
+  using RoundFn =
+      std::function<void(int id, std::vector<Message>& inbox,
+                         std::vector<Message>& outbox)>;
+  void round(const RoundFn& fn);
+
+  /// Inbox currently waiting at machine `id` (delivered by the last round).
+  [[nodiscard]] std::vector<Message>& inbox(int id);
+
+  [[nodiscard]] const MpcStats& stats() const noexcept { return stats_; }
+
+ private:
+  int m_;
+  int dim_;
+  std::vector<std::vector<Message>> inboxes_;
+  MpcStats stats_;
+};
+
+}  // namespace kc::mpc

@@ -1,0 +1,204 @@
+#include "mpc/two_round.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/coreset.hpp"
+#include "core/mbc.hpp"
+#include "util/check.hpp"
+
+namespace kc::mpc {
+
+namespace {
+
+// ⌈log2(z+1)⌉ — the index of the last outlier guess 2^J − 1 ≥ … ≥ z.
+int guess_levels(std::int64_t z) {
+  int j = 0;
+  while ((std::int64_t{1} << j) - 1 < z) ++j;
+  return j;  // J; valid guesses are j = 0..J
+}
+
+// The r̂ rule of Round 2.  `tables[ℓ][j]` = V_ℓ[j].  Returns the smallest
+// r among all table entries such that every machine has some V_ℓ[j] ≤ r and
+// Σ_ℓ (2^{min{j : V_ℓ[j] ≤ r}} − 1) ≤ 2z.  The sum is non-increasing in r,
+// so we binary-search the sorted candidate set.
+double compute_r_hat(const std::vector<std::vector<double>>& tables,
+                     std::int64_t z) {
+  std::vector<double> candidates;
+  for (const auto& t : tables)
+    candidates.insert(candidates.end(), t.begin(), t.end());
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  KC_EXPECTS(!candidates.empty());
+
+  auto qualifies = [&](double r) {
+    std::int64_t sum = 0;
+    for (const auto& t : tables) {
+      int jmin = -1;
+      for (std::size_t j = 0; j < t.size(); ++j) {
+        if (t[j] <= r) {
+          jmin = static_cast<int>(j);
+          break;
+        }
+      }
+      if (jmin < 0) return false;  // this machine has no valid guess at r
+      sum += (std::int64_t{1} << jmin) - 1;
+      if (sum > 2 * z) return false;
+    }
+    return sum <= 2 * z;
+  };
+
+  // Predicate is monotone (false … false true … true) over the sorted
+  // candidates; find the first true.
+  std::size_t lo = 0, hi = candidates.size() - 1;
+  KC_EXPECTS(qualifies(candidates[hi]));  // r = max entry always qualifies
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (qualifies(candidates[mid]))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return candidates[lo];
+}
+
+}  // namespace
+
+TwoRoundResult two_round_coreset(const std::vector<WeightedSet>& parts, int k,
+                                 std::int64_t z, const Metric& metric,
+                                 const TwoRoundOptions& opt) {
+  KC_EXPECTS(!parts.empty());
+  KC_EXPECTS(z >= 0);
+  const int m = static_cast<int>(parts.size());
+  int dim = 1;
+  for (const auto& part : parts)
+    if (!part.empty()) {
+      dim = part.front().p.dim();
+      break;
+    }
+
+  Simulator sim(m, dim);
+  const int levels = guess_levels(z) + 1;  // j = 0..J inclusive
+
+  // Per-machine state living across rounds.
+  std::vector<std::vector<double>> v_table(static_cast<std::size_t>(m));
+  std::vector<std::vector<double>> rho_table(static_cast<std::size_t>(m));
+  std::vector<MiniBallCovering> local_mbc(static_cast<std::size_t>(m));
+  std::vector<double> r_hat_seen(static_cast<std::size_t>(m), 0.0);
+  std::vector<std::int64_t> guess_of(static_cast<std::size_t>(m), 0);
+
+  // ---- Round 1: compute V_i and broadcast. ----------------------------
+  sim.round([&](int id, std::vector<Message>& /*inbox*/,
+                std::vector<Message>& outbox) {
+    const auto uid = static_cast<std::size_t>(id);
+    const WeightedSet& mine = parts[uid];
+    sim.record_storage(id, sim.point_words(mine.size()));
+
+    auto& V = v_table[uid];
+    auto& R = rho_table[uid];
+    V.resize(static_cast<std::size_t>(levels));
+    R.resize(static_cast<std::size_t>(levels));
+    for (int j = 0; j < levels; ++j) {
+      const std::int64_t zj = (std::int64_t{1} << j) - 1;
+      const RadiusEstimate est =
+          estimate_radius(mine, k, zj, metric, opt.oracle);
+      V[static_cast<std::size_t>(j)] = est.radius;
+      R[static_cast<std::size_t>(j)] = est.rho;
+    }
+    Message msg;
+    msg.scalars = V;
+    msg.scalars.insert(msg.scalars.end(), R.begin(), R.end());
+    for (int to = 0; to < m; ++to) {
+      if (to == id) continue;
+      Message copy = msg;
+      copy.to = to;
+      outbox.push_back(std::move(copy));
+    }
+  });
+
+  // ---- Round 2: agree on r̂, build local coverings, ship them. --------
+  sim.round([&](int id, std::vector<Message>& inbox,
+                std::vector<Message>& outbox) {
+    const auto uid = static_cast<std::size_t>(id);
+    const WeightedSet& mine = parts[uid];
+
+    // Reassemble all tables (own + received) — every machine sees the same
+    // set and therefore computes the same r̂ deterministically.
+    std::vector<std::vector<double>> all_v(static_cast<std::size_t>(m));
+    double rho_max = 1.0;
+    all_v[uid] = v_table[uid];
+    for (double r : rho_table[uid]) rho_max = std::max(rho_max, r);
+    for (const auto& msg : inbox) {
+      const auto from = static_cast<std::size_t>(msg.from);
+      const auto half = msg.scalars.size() / 2;
+      all_v[from].assign(msg.scalars.begin(),
+                         msg.scalars.begin() + static_cast<std::ptrdiff_t>(half));
+      for (std::size_t i = half; i < msg.scalars.size(); ++i)
+        rho_max = std::max(rho_max, msg.scalars[i]);
+    }
+    // Storage at this moment: own points + m radius tables.
+    sim.record_storage(
+        id, sim.point_words(mine.size()) +
+                static_cast<std::size_t>(m) * 2 * static_cast<std::size_t>(levels));
+
+    const double r_hat = compute_r_hat(all_v, z);
+    r_hat_seen[uid] = r_hat;
+
+    // ĵ_i = min{j : V_i[j] ≤ r̂}; exists by construction of r̂.
+    int j_hat = -1;
+    for (int j = 0; j < levels; ++j) {
+      if (v_table[uid][static_cast<std::size_t>(j)] <= r_hat) {
+        j_hat = j;
+        break;
+      }
+    }
+    KC_ENSURES(j_hat >= 0);
+    guess_of[uid] = (std::int64_t{1} << j_hat) - 1;
+
+    // MBCConstruction(P_i, k, 2^ĵ−1, ε) reusing the Round-1 radius; the
+    // mini-ball radius ε·V_i[ĵ]/ρ ≤ ε·r̂/ρ ≤ ε·opt (Lemma 9).
+    const double r_i = v_table[uid][static_cast<std::size_t>(j_hat)];
+    MiniBallCovering mbc =
+        mbc_with_radius(mine, opt.eps * r_i / rho_max, metric);
+    mbc.oracle_radius = r_i;
+    mbc.rho = rho_max;
+    sim.record_storage(
+        id, sim.point_words(mine.size() + mbc.reps.size()) +
+                static_cast<std::size_t>(m) * 2 * static_cast<std::size_t>(levels));
+
+    if (id != 0) {
+      Message out;
+      out.to = 0;
+      out.points = mbc.reps;
+      outbox.push_back(std::move(out));
+    }
+    local_mbc[uid] = std::move(mbc);
+  });
+
+  // ---- Coordinator: merge and recompress. ------------------------------
+  TwoRoundResult result;
+  std::vector<WeightedSet> received;
+  received.push_back(local_mbc[0].reps);
+  result.local_coreset_sizes.push_back(local_mbc[0].reps.size());
+  for (const auto& msg : sim.inbox(0)) {
+    received.push_back(msg.points);
+    result.local_coreset_sizes.push_back(msg.points.size());
+  }
+  result.merged = merge_coresets(received);
+  const MiniBallCovering final_mbc =
+      recompress(result.merged, k, z, opt.eps, metric, opt.oracle);
+  sim.record_storage(
+      0, sim.point_words(parts[0].size() + result.merged.size() +
+                         final_mbc.reps.size()));
+
+  result.coreset = final_mbc.reps;
+  result.eps_effective = compose_eps(opt.eps, opt.eps);
+  result.r_hat = r_hat_seen[0];
+  for (auto g : guess_of) result.sum_outlier_guesses += g;
+  result.stats = sim.stats();
+  return result;
+}
+
+}  // namespace kc::mpc

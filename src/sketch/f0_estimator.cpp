@@ -1,0 +1,46 @@
+#include "sketch/f0_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kc::sketch {
+
+F0Estimator::F0Estimator(double eps, std::uint64_t seed, int max_level)
+    : s0_(static_cast<std::size_t>(
+          std::max(16.0, std::ceil(16.0 / (eps * eps))))),
+      level_hash_(/*independence=*/7, splitmix64(seed)) {
+  KC_EXPECTS(eps > 0.0 && eps <= 1.0);
+  KC_EXPECTS(max_level >= 1);
+  Rng rng(splitmix64(seed ^ 0x9e3779b97f4a7c15ULL));
+  levels_.reserve(static_cast<std::size_t>(max_level) + 1);
+  for (int l = 0; l <= max_level; ++l)
+    levels_.emplace_back(s0_, rng(), /*rows=*/4);
+}
+
+void F0Estimator::update(std::uint64_t key, std::int64_t delta) noexcept {
+  const int lvl =
+      level_hash_.level(key, static_cast<int>(levels_.size()) - 1);
+  // Nested levels: a key surviving to level ℓ is present in 0..ℓ.
+  for (int l = 0; l <= lvl; ++l)
+    levels_[static_cast<std::size_t>(l)].update(key, delta);
+}
+
+double F0Estimator::estimate() const {
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const auto dec = levels_[l].decode();
+    if (dec.complete)
+      return static_cast<double>(dec.items.size()) *
+             std::pow(2.0, static_cast<double>(l));
+  }
+  return -1.0;
+}
+
+std::size_t F0Estimator::words() const {
+  std::size_t total = 8;  // level hash coefficients
+  for (const auto& lvl : levels_) total += lvl.words();
+  return total;
+}
+
+}  // namespace kc::sketch

@@ -1,0 +1,44 @@
+// ℓ0 / F0 estimation for strict-turnstile streams — the stand-in for the
+// Kane–Nelson–Woodruff distinct-elements estimator [32] (DESIGN.md
+// substitution #4; Algorithm 5 uses it through Lemma 24 to pick the finest
+// grid with at most s non-empty cells).
+//
+// Level sampling: a t-wise-independent hash assigns each key a geometric
+// level (key survives level ℓ with probability 2^{-ℓ}, nested).  Each level
+// keeps a small s₀-sparse recovery sketch, s₀ = Θ(1/ε²).  The estimate is
+// count(ℓ*)·2^{ℓ*} at the first level that decodes completely: its expected
+// occupancy is between s₀/2 and s₀, so the subsample concentrates to a
+// (1±O(ε)) estimate.  Deletions are handled for free because the level of
+// a key is a function of the key alone.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/sparse_recovery.hpp"
+
+namespace kc::sketch {
+
+class F0Estimator {
+ public:
+  /// eps = target relative accuracy; levels cover universes up to 2^max_level.
+  F0Estimator(double eps, std::uint64_t seed, int max_level = 40);
+
+  void update(std::uint64_t key, std::int64_t delta) noexcept;
+
+  /// (1±O(ε))-estimate of |{key : count(key) ≠ 0}|; exact when the count is
+  /// at most s₀.  Returns −1 when no level decodes (cannot happen for
+  /// max_level ≥ log2(F0/s₀); kept as an explicit failure signal).
+  [[nodiscard]] double estimate() const;
+
+  [[nodiscard]] std::size_t sample_capacity() const noexcept { return s0_; }
+  [[nodiscard]] std::size_t words() const;
+
+ private:
+  std::size_t s0_;
+  PolyHash level_hash_;
+  std::vector<SparseRecovery> levels_;
+};
+
+}  // namespace kc::sketch

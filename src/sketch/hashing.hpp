@@ -1,0 +1,50 @@
+// t-wise independent hashing over F_p (polynomial hash family).
+//
+// A degree-(t−1) polynomial with uniform coefficients evaluated at the key
+// is a t-wise independent family — the independence level the s-sample
+// recovery analysis of Barkay–Porat–Shalem [4] requires (Θ(log(1/δ))-wise).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/field.hpp"
+#include "util/rng.hpp"
+
+namespace kc::sketch {
+
+class PolyHash {
+ public:
+  /// `independence` = t ≥ 1; coefficients drawn deterministically from seed.
+  PolyHash(int independence, std::uint64_t seed);
+
+  /// Hash value in [0, p).
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t key) const noexcept;
+
+  /// Hash value in [0, range), range ≥ 1 (negligible modulo bias: p ≫ range).
+  [[nodiscard]] std::uint64_t bucket(std::uint64_t key,
+                                     std::uint64_t range) const noexcept {
+    return (*this)(key) % range;
+  }
+
+  /// Hash value in [0, 1).
+  [[nodiscard]] double unit(std::uint64_t key) const noexcept {
+    return static_cast<double>((*this)(key)) /
+           static_cast<double>(kPrime);
+  }
+
+  /// Number of leading "subsample levels" the key survives: the largest
+  /// ℓ ≥ 0 with unit(key) < 2^{-ℓ}, capped at `max_level`.  Used by the F0
+  /// estimator's nested level sampling.
+  [[nodiscard]] int level(std::uint64_t key, int max_level) const noexcept;
+
+  [[nodiscard]] int independence() const noexcept {
+    return static_cast<int>(coeffs_.size());
+  }
+
+ private:
+  std::vector<std::uint64_t> coeffs_;  // degree t−1 … 0
+};
+
+}  // namespace kc::sketch

@@ -1,0 +1,57 @@
+// 1-sparse detection cell for strict-turnstile streams.
+//
+// The classic (count, key-sum, fingerprint) triple: after a stream of
+// updates (a, ξ) with non-negative final frequencies, the cell can decide
+// whether the current frequency vector restricted to it is exactly
+// 1-sparse, and if so recover (key, count) exactly.  The fingerprint
+// Σ c_a · r^{embed(a)} (random r, Schwartz–Zippel) makes false positives
+// vanishingly unlikely; buckets of the s-sparse recovery structure are made
+// of these cells.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sketch/field.hpp"
+
+namespace kc::sketch {
+
+class OneSparseCell {
+ public:
+  OneSparseCell() = default;
+  /// r = fingerprint evaluation point (shared across cells of a sketch).
+  explicit OneSparseCell(std::uint64_t r) : r_(r) {}
+
+  void update(std::uint64_t key, std::int64_t delta) noexcept;
+
+  /// Merge-subtract: remove `count` copies of `key` (used by peeling).
+  void remove(std::uint64_t key, std::int64_t count) noexcept {
+    update(key, -count);
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return count_ == 0 && keysum_ == 0 && fingerprint_ == 0;
+  }
+
+  struct Recovered {
+    std::uint64_t key = 0;
+    std::int64_t count = 0;
+  };
+
+  /// If the cell currently holds exactly one distinct key with positive
+  /// count, returns it; otherwise nullopt.  Sound for strict-turnstile
+  /// vectors up to fingerprint collisions (probability < 2n/p per test).
+  [[nodiscard]] std::optional<Recovered> recover() const noexcept;
+
+  /// Words of storage (count + keysum + fingerprint).
+  [[nodiscard]] static constexpr std::size_t words() noexcept { return 3; }
+
+ private:
+  std::uint64_t r_ = 3;            // evaluation point
+  std::int64_t count_ = 0;         // Σ ξ
+  std::uint64_t keysum_ = 0;       // Σ ξ·embed(key)  (mod p)
+  std::uint64_t fingerprint_ = 0;  // Σ ξ·r^{embed(key)}  (mod p)
+};
+
+}  // namespace kc::sketch

@@ -1,0 +1,62 @@
+#include "sketch/sparse_recovery.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace kc::sketch {
+
+SparseRecovery::SparseRecovery(std::size_t capacity, std::uint64_t seed,
+                               int rows)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  KC_EXPECTS(rows >= 2);
+  buckets_ = std::max<std::size_t>(2 * capacity_, 8);
+  Rng rng(seed);
+  const std::uint64_t fp_point = 2 + rng() % (kPrime - 3);
+  for (int r = 0; r < rows; ++r)
+    hashes_.emplace_back(/*independence=*/7, rng());
+  cells_.assign(static_cast<std::size_t>(rows) * buckets_,
+                OneSparseCell(fp_point));
+}
+
+std::size_t SparseRecovery::cell_index(std::size_t row,
+                                       std::uint64_t key) const noexcept {
+  return row * buckets_ + hashes_[row].bucket(key, buckets_);
+}
+
+void SparseRecovery::update(std::uint64_t key, std::int64_t delta) noexcept {
+  for (std::size_t r = 0; r < hashes_.size(); ++r)
+    cells_[cell_index(r, key)].update(key, delta);
+}
+
+SparseRecovery::DecodeResult SparseRecovery::decode() const {
+  std::vector<OneSparseCell> work = cells_;
+  DecodeResult out;
+
+  // Peel: scan for recoverable singleton cells until a full pass makes no
+  // progress.  Each recovered key is subtracted from every row.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      const auto rec = work[i].recover();
+      if (!rec) continue;
+      out.items.push_back({rec->key, rec->count});
+      for (std::size_t r = 0; r < hashes_.size(); ++r) {
+        const std::size_t idx = r * buckets_ + hashes_[r].bucket(rec->key, buckets_);
+        work[idx].remove(rec->key, rec->count);
+      }
+      progress = true;
+    }
+  }
+  out.complete = std::all_of(work.begin(), work.end(),
+                             [](const OneSparseCell& c) { return c.empty(); });
+  // Duplicate keys can appear if a key is recovered from two rows before
+  // subtraction… it cannot: subtraction happens immediately after each
+  // recovery.  Sort for deterministic output.
+  std::sort(out.items.begin(), out.items.end(),
+            [](const Item& a, const Item& b) { return a.key < b.key; });
+  return out;
+}
+
+}  // namespace kc::sketch

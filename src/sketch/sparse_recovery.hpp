@@ -1,0 +1,61 @@
+// s-sparse recovery sketch for strict-turnstile streams — the stand-in for
+// the Barkay–Porat–Shalem s-sample recovery structure [4] (DESIGN.md
+// substitution #3; same black-box guarantee used by the paper's Lemma 22).
+//
+// Structure: `rows` independent hash rows, each with `2s` buckets of
+// 1-sparse cells; decoding peels singleton buckets (recover → subtract
+// everywhere → repeat), exactly as in invertible Bloom lookup tables.
+// When the frequency vector has ≤ s non-zero keys, decoding recovers every
+// (key, count) pair exactly with probability 1 − δ for rows = Θ(log(1/δ)).
+// With more than s keys it either returns a partial sample or reports
+// failure — Algorithm 5 only queries the grid level whose non-empty-cell
+// count is below s.
+//
+// Space: rows · 2s cells · 3 words + O(rows) hash state.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sketch/hashing.hpp"
+#include "sketch/one_sparse.hpp"
+
+namespace kc::sketch {
+
+class SparseRecovery {
+ public:
+  /// capacity = s; rows defaults to 4 (δ ≈ 2^-Θ(rows)).
+  SparseRecovery(std::size_t capacity, std::uint64_t seed, int rows = 4);
+
+  void update(std::uint64_t key, std::int64_t delta) noexcept;
+
+  struct Item {
+    std::uint64_t key = 0;
+    std::int64_t count = 0;
+  };
+  struct DecodeResult {
+    std::vector<Item> items;  ///< recovered (key, exact count) pairs
+    bool complete = false;    ///< true iff the residual sketch is empty
+  };
+
+  /// Peeling decode.  Non-destructive (works on a copy of the cells).
+  [[nodiscard]] DecodeResult decode() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t words() const noexcept {
+    return cells_.size() * OneSparseCell::words() + hashes_.size() * 8 + 4;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t buckets_;  // per row
+  std::vector<PolyHash> hashes_;
+  std::vector<OneSparseCell> cells_;  // rows × buckets, row-major
+
+  [[nodiscard]] std::size_t cell_index(std::size_t row,
+                                       std::uint64_t key) const noexcept;
+};
+
+}  // namespace kc::sketch

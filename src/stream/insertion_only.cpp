@@ -1,0 +1,93 @@
+#include "stream/insertion_only.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace kc::stream {
+
+std::size_t stream_threshold(int k, std::int64_t z, double eps, int dim,
+                             ThresholdPolicy policy) {
+  const double per_center = std::pow(16.0 / eps, dim);
+  switch (policy) {
+    case ThresholdPolicy::Ours:
+      return static_cast<std::size_t>(static_cast<double>(k) * per_center) +
+             static_cast<std::size_t>(z);
+    case ThresholdPolicy::Ceccarello:
+      return static_cast<std::size_t>(
+          (static_cast<double>(k) + static_cast<double>(z)) * per_center);
+  }
+  return 0;  // unreachable
+}
+
+InsertionOnlyStream::InsertionOnlyStream(int k, std::int64_t z, double eps,
+                                         int dim, const Metric& metric,
+                                         ThresholdPolicy policy)
+    : k_(k), z_(z), eps_(eps), dim_(dim), metric_(metric) {
+  KC_EXPECTS(k >= 1);
+  KC_EXPECTS(z >= 0);
+  KC_EXPECTS(eps > 0.0 && eps <= 1.0);
+  threshold_ = stream_threshold(k, z, eps, dim, policy);
+  KC_EXPECTS(threshold_ >= static_cast<std::size_t>(k) + static_cast<std::size_t>(z) + 1);
+}
+
+void InsertionOnlyStream::insert_weighted(const Point& p, std::int64_t w) {
+  KC_EXPECTS(w > 0);
+  ++seen_;
+  // Try to assign p to an existing representative within (ε/2)·r.  While
+  // r == 0 this absorbs exact duplicates only.
+  const double join = (eps_ / 2.0) * r_;
+  const double join_key = metric_.norm() == Norm::L2 ? join * join : join;
+  bool placed = false;
+  for (auto& rep : reps_) {
+    if (metric_.dist_key(p, rep.p) <= join_key) {
+      rep.w += w;
+      placed = true;
+      break;
+    }
+  }
+  if (!placed) reps_.push_back({p, w});
+  peak_ = std::max(peak_, reps_.size());
+
+  // Bootstrap: first sensible lower bound once k+z+1 distinct points exist.
+  if (r_ == 0.0 &&
+      reps_.size() >= static_cast<std::size_t>(k_) +
+                          static_cast<std::size_t>(z_) + 1) {
+    double min_key = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < reps_.size(); ++i)
+      for (std::size_t j = i + 1; j < reps_.size(); ++j)
+        min_key = std::min(min_key, metric_.dist_key(reps_[i].p, reps_[j].p));
+    const double delta = metric_.key_to_dist(min_key);
+    KC_ENSURES(delta > 0.0);  // P* never stores coinciding points
+    r_ = delta / 2.0;
+  }
+
+  // Recompression loop: double r until the size drops below the threshold.
+  while (reps_.size() >= threshold_) {
+    KC_EXPECTS(r_ > 0.0);
+    r_ *= 2.0;
+    ++doublings_;
+    const MiniBallCovering mbc =
+        mbc_with_radius(reps_, (eps_ / 2.0) * r_, metric_);
+    reps_ = mbc.reps;
+  }
+}
+
+void InsertionOnlyStream::absorb(const InsertionOnlyStream& other) {
+  KC_EXPECTS(other.k_ == k_ && other.z_ == z_);
+  KC_EXPECTS(other.eps_ == eps_ && other.dim_ == dim_);
+  // max of two valid lower bounds is a valid lower bound for the union.
+  r_ = std::max(r_, other.r_);
+  seen_ += other.seen_;
+  for (const auto& rep : other.reps_) {
+    // Re-cover at the merged radius; weights ride along.  Reuse the
+    // insertion path minus the seen_ accounting (already added above).
+    --seen_;
+    insert_weighted(rep.p, rep.w);
+  }
+  peak_ = std::max(peak_, reps_.size());
+}
+
+}  // namespace kc::stream

@@ -1,0 +1,125 @@
+#include "stream/sliding_window.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kc::stream {
+
+SlidingWindow::SlidingWindow(int k, std::int64_t z, double eps, int dim,
+                             std::int64_t window, double r_min, double r_max,
+                             const Metric& metric)
+    : k_(k), z_(z), eps_(eps), window_(window), metric_(metric) {
+  KC_EXPECTS(k >= 1);
+  KC_EXPECTS(z >= 0);
+  KC_EXPECTS(eps > 0.0 && eps <= 1.0);
+  KC_EXPECTS(window >= 1);
+  KC_EXPECTS(r_min > 0.0 && r_max >= r_min);
+  cap_ = static_cast<std::size_t>(
+             static_cast<double>(k) * std::pow(16.0 / eps, dim)) +
+         static_cast<std::size_t>(z);
+  for (double guess = r_min; guess <= 2.0 * r_max; guess *= 2.0) {
+    Level lvl;
+    lvl.guess = guess;
+    lvl.radius = eps * guess;
+    levels_.push_back(std::move(lvl));
+  }
+}
+
+void SlidingWindow::insert(const Point& p, std::int64_t t) {
+  for (auto& lvl : levels_) {
+    const double key =
+        metric_.norm() == Norm::L2 ? lvl.radius * lvl.radius : lvl.radius;
+    bool placed = false;
+    for (auto& c : lvl.clusters) {
+      if (metric_.dist_key(p, c.rep) <= key) {
+        c.recent.push_back({p, t});
+        if (c.recent.size() > static_cast<std::size_t>(z_) + 1)
+          c.recent.erase(c.recent.begin());
+        c.last_join = t;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      MiniCluster fresh;
+      fresh.rep = p;
+      fresh.recent.push_back({p, t});
+      fresh.last_join = t;
+      lvl.clusters.push_back(std::move(fresh));
+    }
+    // Drop clusters whose every stored member expired — they cannot matter
+    // for any current or future window.
+    std::erase_if(lvl.clusters, [&](const MiniCluster& c) {
+      return c.last_join <= t - window_;
+    });
+    // Capacity: evict the stalest cluster and mark the level unsafe until
+    // the evicted cluster's members have all left the window.
+    while (lvl.clusters.size() > cap_) {
+      auto stalest = std::min_element(
+          lvl.clusters.begin(), lvl.clusters.end(),
+          [](const MiniCluster& a, const MiniCluster& b) {
+            return a.last_join < b.last_join;
+          });
+      lvl.unsafe_until =
+          std::max(lvl.unsafe_until, stalest->last_join + window_);
+      lvl.clusters.erase(stalest);
+    }
+  }
+  peak_ = std::max(peak_, stored_records());
+}
+
+std::size_t SlidingWindow::stored_records() const noexcept {
+  std::size_t total = 0;
+  for (const auto& lvl : levels_)
+    for (const auto& c : lvl.clusters) total += 1 + c.recent.size();
+  return total;
+}
+
+SlidingWindow::QueryResult SlidingWindow::query(std::int64_t now) const {
+  const std::int64_t horizon = now - window_;  // alive ⇔ t > horizon
+  for (std::size_t li = 0; li < levels_.size(); ++li) {
+    const Level& lvl = levels_[li];
+    if (lvl.unsafe_until > now) continue;
+
+    WeightedSet coreset;
+    bool ok = true;
+    for (const auto& c : lvl.clusters) {
+      // Alive members among the stored most-recent z+1.
+      std::int64_t alive = 0;
+      const Member* newest_alive = nullptr;
+      for (const auto& m : c.recent) {
+        if (m.t > horizon) {
+          ++alive;
+          newest_alive = &m;
+        }
+      }
+      if (alive == 0) continue;
+      // If every stored member is alive the true count may exceed z+1;
+      // clamp — outlier budgets never need more.
+      const bool saturated =
+          c.recent.size() == static_cast<std::size_t>(z_) + 1 &&
+          static_cast<std::size_t>(alive) == c.recent.size();
+      const std::int64_t w = saturated ? z_ + 1 : alive;
+      // Re-anchor on an alive member so the coreset is a subset of the
+      // window (costs ≤ 2·radius of covering slack).
+      coreset.push_back({newest_alive->p, std::max<std::int64_t>(w, 1)});
+      if (coreset.size() > cap_) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+
+    QueryResult res;
+    res.coreset = std::move(coreset);
+    res.level = static_cast<int>(li);
+    res.guess = lvl.guess;
+    res.cover_radius = 2.0 * lvl.radius;
+    return res;
+  }
+  return {};
+}
+
+}  // namespace kc::stream

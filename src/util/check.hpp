@@ -1,0 +1,37 @@
+// Precondition / invariant checking helpers.
+//
+// KC_EXPECTS / KC_ENSURES follow the Core Guidelines contract idiom: they
+// document and enforce pre/postconditions.  They stay active in all build
+// types for cheap checks (the library is an algorithms reference, so
+// correctness beats the last few percent of speed); use KC_DCHECK for
+// checks that are too expensive outside debug builds.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kc::detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "[kcoreset] %s violated: %s at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+}  // namespace kc::detail
+
+#define KC_EXPECTS(cond)                                                     \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::kc::detail::contract_failure("precondition", #cond, __FILE__,  \
+                                           __LINE__))
+
+#define KC_ENSURES(cond)                                                     \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::kc::detail::contract_failure("postcondition", #cond, __FILE__, \
+                                           __LINE__))
+
+#ifndef NDEBUG
+#define KC_DCHECK(cond) KC_EXPECTS(cond)
+#else
+#define KC_DCHECK(cond) static_cast<void>(0)
+#endif

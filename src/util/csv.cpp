@@ -1,0 +1,42 @@
+#include "util/csv.hpp"
+
+#include "util/check.hpp"
+
+namespace kc {
+
+namespace {
+// RFC 4180 quoting: wrap in quotes when the cell contains a comma, a quote,
+// or a newline; double embedded quotes.
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : out_(path), columns_(columns.size()) {
+  KC_EXPECTS(!columns.empty());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(columns[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  KC_EXPECTS(cells.size() == columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace kc

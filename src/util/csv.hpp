@@ -1,0 +1,27 @@
+// Minimal CSV writer so bench harnesses can dump raw series next to the
+// human-readable tables (for plotting / post-processing).
+
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace kc {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header line.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  /// Appends one row; cell count must match the header.
+  void write_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] bool ok() const noexcept { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace kc

@@ -1,0 +1,46 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+
+namespace kc {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "";  // boolean presence flag
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+long long Flags::get_int(const std::string& name, long long def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace kc

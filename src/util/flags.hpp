@@ -1,0 +1,39 @@
+// Tiny command-line flag parser for the example and bench binaries.
+//
+// Usage:
+//   kc::Flags flags(argc, argv);
+//   int n   = flags.get_int("n", 10000);
+//   double e = flags.get_double("eps", 0.25);
+//   bool quick = flags.has("quick");
+//
+// Accepted syntaxes: --name=value, --name value, --flag (boolean presence).
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kc {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& def) const;
+  [[nodiscard]] long long get_int(const std::string& name, long long def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+
+  /// Positional (non-flag) arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace kc

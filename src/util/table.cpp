@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace kc {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  KC_EXPECTS(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  KC_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string(int indent) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << pad;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c] << std::string(widths[c] - cells[c].size(), ' ');
+      if (c + 1 < cells.size()) out << "  ";
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  out << pad;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out << std::string(widths[c], '-');
+    if (c + 1 < widths.size()) out << "  ";
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::print(int indent) const {
+  std::fputs(to_string(indent).c_str(), stdout);
+  std::fflush(stdout);
+}
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string fmt_count(long long v) {
+  const bool neg = v < 0;
+  unsigned long long uv = neg ? static_cast<unsigned long long>(-v)
+                              : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(uv);
+  std::string out;
+  int group = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (group == 3) {
+      out.push_back(',');
+      group = 0;
+    }
+    out.push_back(*it);
+    ++group;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace kc

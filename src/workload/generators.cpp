@@ -1,0 +1,210 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/box.hpp"
+#include "util/check.hpp"
+
+namespace kc {
+
+namespace {
+
+// Uniform sample from the unit ball of the given norm (rejection from the
+// cube works for every norm at the small dimensions we target).
+Point sample_unit_ball(Rng& rng, int dim, Norm norm) {
+  const Metric metric{norm};
+  Point origin(dim, 0.0);
+  for (;;) {
+    Point p(dim);
+    for (int i = 0; i < dim; ++i) p[i] = rng.uniform_real(-1.0, 1.0);
+    if (metric.dist(p, origin) <= 1.0) return p;
+  }
+}
+
+// Cluster-center lattice: place k centers on a coarse integer lattice scaled
+// by `spacing`, guaranteeing pairwise distance ≥ spacing in every norm.
+PointSet lattice_centers(int k, int dim, double spacing) {
+  const int per_axis = static_cast<int>(
+      std::ceil(std::pow(static_cast<double>(k), 1.0 / dim)));
+  PointSet out;
+  out.reserve(static_cast<std::size_t>(k));
+  std::vector<int> idx(static_cast<std::size_t>(dim), 0);
+  while (static_cast<int>(out.size()) < k) {
+    Point c(dim);
+    for (int i = 0; i < dim; ++i)
+      c[i] = spacing * static_cast<double>(idx[static_cast<std::size_t>(i)]);
+    out.push_back(c);
+    // increment mixed-radix counter
+    for (int i = 0; i < dim; ++i) {
+      if (++idx[static_cast<std::size_t>(i)] < per_axis) break;
+      idx[static_cast<std::size_t>(i)] = 0;
+      KC_EXPECTS(i + 1 < dim || static_cast<int>(out.size()) >= k);
+    }
+  }
+  return out;
+}
+
+// Certified diameter lower bound: double farthest-point probe.
+double diameter_lb(const std::vector<Point>& pts, const Metric& metric) {
+  if (pts.size() < 2) return 0.0;
+  std::size_t a = 0;
+  double best = -1.0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double d = metric.dist(pts[0], pts[i]);
+    if (d > best) {
+      best = d;
+      a = i;
+    }
+  }
+  double diam = best;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    diam = std::max(diam, metric.dist(pts[a], pts[i]));
+  return diam;
+}
+
+}  // namespace
+
+PlantedInstance make_planted(const PlantedConfig& cfg) {
+  KC_EXPECTS(cfg.k >= 1);
+  KC_EXPECTS(cfg.z >= 0);
+  KC_EXPECTS(cfg.dim >= 1 && cfg.dim <= Point::kMaxDim);
+  KC_EXPECTS(cfg.separation >= 20.0);
+  const auto z = static_cast<std::size_t>(cfg.z);
+  KC_EXPECTS(cfg.n >= static_cast<std::size_t>(cfg.k) * (z + 1) + z);
+
+  PlantedInstance inst;
+  inst.config = cfg;
+  Rng rng(cfg.seed);
+  const Metric metric{cfg.norm};
+  const double spacing = cfg.separation * cfg.cluster_radius;
+
+  inst.planted_centers = lattice_centers(cfg.k, cfg.dim, spacing);
+
+  // Split the n - z cluster points over the k clusters.  skew = 0 gives an
+  // even split; skew → 1 concentrates mass in the first cluster while every
+  // cluster keeps its mandatory z+1 points.
+  const std::size_t cluster_total = cfg.n - z;
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(cfg.k), z + 1);
+  std::size_t assigned = static_cast<std::size_t>(cfg.k) * (z + 1);
+  KC_EXPECTS(assigned <= cluster_total);
+  std::size_t remaining = cluster_total - assigned;
+  if (cfg.skew <= 0.0) {
+    for (std::size_t i = 0; remaining > 0; i = (i + 1) % sizes.size()) {
+      ++sizes[i];
+      --remaining;
+    }
+  } else {
+    // Geometric decay of the remainder across clusters.
+    double weight = 1.0;
+    std::vector<double> ws(sizes.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      ws[i] = weight;
+      weight *= (1.0 - cfg.skew);
+    }
+    double wsum = 0.0;
+    for (double w : ws) wsum += w;
+    std::size_t given = 0;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const auto extra =
+          static_cast<std::size_t>(std::floor(static_cast<double>(remaining) * ws[i] / wsum));
+      sizes[i] += extra;
+      given += extra;
+    }
+    for (std::size_t i = 0; given < remaining; i = (i + 1) % sizes.size()) {
+      ++sizes[i];
+      ++given;
+    }
+  }
+
+  std::vector<std::vector<Point>> clusters(static_cast<std::size_t>(cfg.k));
+  for (int c = 0; c < cfg.k; ++c) {
+    auto& cluster = clusters[static_cast<std::size_t>(c)];
+    cluster.reserve(sizes[static_cast<std::size_t>(c)]);
+    for (std::size_t i = 0; i < sizes[static_cast<std::size_t>(c)]; ++i) {
+      const Point offset =
+          sample_unit_ball(rng, cfg.dim, cfg.norm) * cfg.cluster_radius;
+      cluster.push_back(inst.planted_centers[static_cast<std::size_t>(c)] + offset);
+    }
+  }
+
+  // Outliers: far along the negative first axis, pairwise ≥ spacing apart.
+  PointSet outliers;
+  outliers.reserve(z);
+  for (std::size_t i = 0; i < z; ++i) {
+    Point o(cfg.dim, 0.0);
+    o[0] = -spacing * (2.0 + static_cast<double>(i));
+    // jitter the remaining axes slightly so outliers are not collinear
+    for (int dcoord = 1; dcoord < cfg.dim; ++dcoord)
+      o[dcoord] = rng.uniform_real(0.0, cfg.cluster_radius);
+    outliers.push_back(o);
+  }
+
+  // Assemble: clusters (interleaved deterministically via shuffle) then
+  // record outlier indices after shuffling everything together.
+  std::vector<std::pair<Point, bool>> all;  // (point, is_outlier)
+  all.reserve(cfg.n);
+  for (const auto& cl : clusters)
+    for (const auto& p : cl) all.emplace_back(p, false);
+  for (const auto& o : outliers) all.emplace_back(o, true);
+  // Fisher–Yates with our deterministic rng.
+  for (std::size_t i = all.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform(i);
+    std::swap(all[i - 1], all[j]);
+  }
+  inst.points.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    inst.points.push_back({all[i].first, 1});
+    if (all[i].second) inst.outlier_indices.push_back(i);
+  }
+
+  // Certify the bracket.
+  double hi = 0.0, lo = 0.0;
+  for (int c = 0; c < cfg.k; ++c) {
+    const auto& cl = clusters[static_cast<std::size_t>(c)];
+    double far = 0.0;
+    for (const auto& p : cl)
+      far = std::max(far,
+                     metric.dist(p, inst.planted_centers[static_cast<std::size_t>(c)]));
+    hi = std::max(hi, far);
+    lo = std::max(lo, diameter_lb(cl, metric) / 2.0);
+  }
+  inst.opt_hi = hi;
+  inst.opt_lo = lo;
+  KC_ENSURES(inst.opt_lo <= inst.opt_hi * (1.0 + 1e-12));
+  // Bracket validity regime: opt_hi must be well below half the separation.
+  KC_ENSURES(inst.opt_hi < spacing / 4.0);
+  return inst;
+}
+
+WeightedSet make_uniform(std::size_t n, int dim, double side,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  WeightedSet out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Point p(dim);
+    for (int d = 0; d < dim; ++d) p[d] = rng.uniform_real(0.0, side);
+    out.push_back({p, 1});
+  }
+  return out;
+}
+
+std::vector<GridPoint> discretize(const WeightedSet& pts, std::int64_t delta) {
+  KC_EXPECTS(!pts.empty());
+  Box box = Box::empty(pts.front().p.dim());
+  for (const auto& wp : pts) box.extend(wp.p);
+  const double span = std::max(box.max_side(), 1e-12);
+  const double scale = static_cast<double>(delta - 1) / span;
+  std::vector<GridPoint> out;
+  out.reserve(pts.size());
+  for (const auto& wp : pts) {
+    Point scaled(wp.p.dim());
+    for (int i = 0; i < wp.p.dim(); ++i)
+      scaled[i] = (wp.p[i] - box.lo()[i]) * scale;
+    out.push_back(snap_to_grid(scaled, delta));
+  }
+  return out;
+}
+
+}  // namespace kc

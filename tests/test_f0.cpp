@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "sketch/f0_estimator.hpp"
+#include "util/rng.hpp"
+
+namespace kc::sketch {
+namespace {
+
+TEST(F0, ExactForSmallSupports) {
+  F0Estimator est(0.5, 1);
+  for (int i = 0; i < 10; ++i) est.update(static_cast<std::uint64_t>(i), 1);
+  EXPECT_DOUBLE_EQ(est.estimate(), 10.0);
+}
+
+TEST(F0, ZeroWhenEmpty) {
+  F0Estimator est(0.5, 2);
+  EXPECT_DOUBLE_EQ(est.estimate(), 0.0);
+}
+
+TEST(F0, DeletionsReduceCount) {
+  F0Estimator est(0.5, 3);
+  for (int i = 0; i < 20; ++i) est.update(static_cast<std::uint64_t>(i), 1);
+  for (int i = 0; i < 15; ++i) est.update(static_cast<std::uint64_t>(i), -1);
+  EXPECT_DOUBLE_EQ(est.estimate(), 5.0);
+}
+
+TEST(F0, MultiplicityDoesNotInflate) {
+  F0Estimator est(0.5, 4);
+  for (int rep = 0; rep < 50; ++rep)
+    for (int i = 0; i < 7; ++i) est.update(static_cast<std::uint64_t>(i), 1);
+  EXPECT_DOUBLE_EQ(est.estimate(), 7.0);
+}
+
+TEST(F0, LargeSupportWithinTolerance) {
+  // F0 = 20000 with ε = 0.25: estimate within ±35 % across seeds (the
+  // constant in s₀ is modest; the bench tracks the real accuracy curve).
+  const double f0 = 20000;
+  int good = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    F0Estimator est(0.25, seed);
+    for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(f0); ++i)
+      est.update(i * 2654435761ULL, 1);
+    const double e = est.estimate();
+    if (std::abs(e - f0) <= 0.35 * f0) ++good;
+  }
+  EXPECT_GE(good, 4);
+}
+
+TEST(F0, TurnstileChurnStaysAccurate) {
+  F0Estimator est(0.25, 9);
+  Rng rng(5);
+  // Insert 5000, delete a random 2500 of them.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    keys.push_back(i * 11400714819323198485ULL);
+    est.update(keys.back(), 1);
+  }
+  for (std::size_t i = 0; i < 2500; ++i) est.update(keys[i * 2], -1);
+  const double e = est.estimate();
+  EXPECT_NEAR(e, 2500.0, 2500.0 * 0.35);
+}
+
+TEST(F0, WordsAccountingPositive) {
+  F0Estimator est(0.5, 10);
+  EXPECT_GT(est.words(), 100u);
+}
+
+}  // namespace
+}  // namespace kc::sketch

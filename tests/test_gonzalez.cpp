@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/brute_force.hpp"
+#include "core/gonzalez.hpp"
+#include "test_support.hpp"
+
+namespace kc {
+namespace {
+
+const Metric kL2{Norm::L2};
+
+TEST(Gonzalez, SelectsRequestedCenters) {
+  const WeightedSet pts = with_unit_weights(
+      {Point{0.0}, Point{10.0}, Point{20.0}, Point{30.0}});
+  const GonzalezResult g = gonzalez(pts, 3, kL2);
+  EXPECT_EQ(g.center_indices.size(), 3u);
+  EXPECT_EQ(g.delta.size(), 3u);
+}
+
+TEST(Gonzalez, DeltaNonIncreasing) {
+  const auto inst = testing::tiny_planted(3, 4, 2, 17);
+  const GonzalezResult g = gonzalez(inst.points, 20, kL2);
+  for (std::size_t t = 1; t < g.delta.size(); ++t)
+    EXPECT_LE(g.delta[t], g.delta[t - 1] + 1e-12);
+}
+
+TEST(Gonzalez, CentersArePairwiseSeparated) {
+  // Selected centers must be pairwise ≥ δ_final apart.
+  const auto inst = testing::tiny_planted(3, 2, 2, 5);
+  const GonzalezResult g = gonzalez(inst.points, 12, kL2);
+  const double delta = g.delta.back();
+  const PointSet cs = g.centers(inst.points);
+  for (std::size_t i = 0; i < cs.size(); ++i)
+    for (std::size_t j = i + 1; j < cs.size(); ++j)
+      EXPECT_GE(kL2.dist(cs[i], cs[j]), delta - 1e-9);
+}
+
+TEST(Gonzalez, AssignmentIsNearestSelected) {
+  const auto inst = testing::tiny_planted(2, 0, 2, 11);
+  const GonzalezResult g = gonzalez(inst.points, 6, kL2);
+  const PointSet cs = g.centers(inst.points);
+  for (std::size_t i = 0; i < inst.points.size(); ++i) {
+    const double assigned = kL2.dist(inst.points[i].p, cs[g.assignment[i]]);
+    for (const auto& c : cs)
+      EXPECT_LE(assigned, kL2.dist(inst.points[i].p, c) + 1e-9);
+  }
+}
+
+TEST(Gonzalez, TwoApproxOfKCenterNoOutliers) {
+  // δ_k ≤ 2·opt_k (classic guarantee), checked against brute force.
+  const auto inst = testing::tiny_planted(3, 0, 1, 23);
+  WeightedSet small(inst.points.begin(),
+                    inst.points.begin() + std::min<std::size_t>(
+                                              inst.points.size(), 14));
+  const int k = 3;
+  const GonzalezResult g = gonzalez(small, k, kL2);
+  const double opt = brute_force_radius(small, k, 0, kL2);
+  EXPECT_LE(g.delta.back(), 2.0 * opt + 1e-9);
+}
+
+TEST(Gonzalez, StopRadiusHonored) {
+  const auto inst = testing::tiny_planted(4, 0, 2, 3);
+  const GonzalezResult g = gonzalez(inst.points, 1000, kL2, 0.5);
+  // Stops as soon as covering radius ≤ 0.5 (well before 1000 centers for a
+  // clustered instance).
+  EXPECT_LE(g.delta.back(), 0.5);
+  EXPECT_LT(g.center_indices.size(), inst.points.size());
+}
+
+TEST(Gonzalez, SummaryPreservesWeight) {
+  auto inst = testing::tiny_planted(3, 4, 2, 29);
+  inst.points[0].w = 7;  // exercise non-unit weights
+  const GonzalezResult g = gonzalez(inst.points, 9, kL2);
+  const WeightedSet s = gonzalez_summary(inst.points, g);
+  EXPECT_EQ(total_weight(s), total_weight(inst.points));
+  EXPECT_EQ(s.size(), g.center_indices.size());
+}
+
+TEST(Gonzalez, SummaryCoveringRadiusIsDelta) {
+  const auto inst = testing::tiny_planted(2, 2, 2, 31);
+  const GonzalezResult g = gonzalez(inst.points, 8, kL2);
+  const WeightedSet s = gonzalez_summary(inst.points, g);
+  const double delta = g.delta.back();
+  for (std::size_t i = 0; i < inst.points.size(); ++i) {
+    EXPECT_LE(kL2.dist(inst.points[i].p, s[g.assignment[i]].p), delta + 1e-9);
+  }
+}
+
+TEST(Gonzalez, DegenerateAllEqualPoints) {
+  WeightedSet pts(5, WeightedPoint{Point{1.0, 1.0}, 1});
+  const GonzalezResult g = gonzalez(pts, 3, kL2);
+  // All points coincide: one center suffices, radius 0, early stop.
+  EXPECT_EQ(g.center_indices.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.delta.back(), 0.0);
+}
+
+TEST(Gonzalez, PackingBoundDrivesDeltaBelowEpsOpt) {
+  // With τ = k(4/ε)^d + z + 1 centers, δ_τ ≤ ε·opt (Lemma 6 packing).
+  const auto inst = testing::tiny_planted(2, 3, 1, 37);
+  const double eps = 1.0;
+  const int dim = 1;
+  const auto tau = static_cast<int>(
+      2 * std::pow(std::ceil(4.0 / eps), dim) + 3 + 1);
+  const GonzalezResult g = gonzalez(inst.points, tau, kL2);
+  // opt ≥ opt_lo from the planted bracket.
+  EXPECT_LE(g.delta.back(), eps * inst.opt_hi + 1e-9);
+}
+
+}  // namespace
+}  // namespace kc

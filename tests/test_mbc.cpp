@@ -1,0 +1,140 @@
+// Property tests of the mini-ball-covering constructions (paper §2):
+// Definition-2 structure, covering radius, Lemma-6/7 size bounds, and the
+// Lemma-3 coreset sandwich, swept over (k, z, ε, d) with TEST_P.
+
+#include <gtest/gtest.h>
+
+#include "core/cost.hpp"
+#include "core/mbc.hpp"
+#include "core/solver.hpp"
+#include "core/verify.hpp"
+#include "test_support.hpp"
+
+namespace kc {
+namespace {
+
+const Metric kL2{Norm::L2};
+
+class MbcSweep : public ::testing::TestWithParam<testing::SweepParam> {};
+
+TEST_P(MbcSweep, StructureAndCoveringAndSize) {
+  const auto p = GetParam();
+  const auto inst = testing::tiny_planted(p.k, p.z, p.dim, p.seed);
+  const MiniBallCovering mbc =
+      mbc_construct(inst.points, p.k, p.z, p.eps, kL2);
+
+  // Definition 2: partition + weight preservation + subset property.
+  EXPECT_TRUE(check_mbc_structure(inst.points, mbc));
+
+  // Covering property: every point within ε·opt ≤ ε·opt_hi of its rep.
+  EXPECT_LE(max_assignment_dist(inst.points, mbc, kL2),
+            p.eps * inst.opt_hi + 1e-9);
+
+  // Separation invariant → Lemma 7 size bound k(4ρ/ε)^d + z.
+  EXPECT_TRUE(check_separation(mbc.reps, mbc.cover_radius, kL2));
+  EXPECT_LE(static_cast<double>(mbc.reps.size()),
+            mbc_size_bound(p.k, p.z, p.eps, mbc.rho, p.dim) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MbcSweep,
+                         ::testing::ValuesIn(testing::default_sweep()),
+                         [](const auto& info) { return info.param.name(); });
+
+class GonzalezMbcSweep : public ::testing::TestWithParam<testing::SweepParam> {
+};
+
+TEST_P(GonzalezMbcSweep, OracleFreeConstruction) {
+  const auto p = GetParam();
+  const auto inst = testing::tiny_planted(p.k, p.z, p.dim, p.seed);
+  const MiniBallCovering mbc =
+      mbc_via_gonzalez(inst.points, p.k, p.z, p.eps, kL2);
+
+  EXPECT_TRUE(check_mbc_structure(inst.points, mbc));
+  EXPECT_LE(max_assignment_dist(inst.points, mbc, kL2),
+            p.eps * inst.opt_hi + 1e-9);
+  // Size ≤ τ = k⌈4/ε⌉^d + z + 1 by construction.
+  EXPECT_LE(static_cast<double>(mbc.reps.size()),
+            static_cast<double>(
+                summary_center_budget(p.k, p.z, p.eps, p.dim)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, GonzalezMbcSweep,
+                         ::testing::ValuesIn(testing::default_sweep()),
+                         [](const auto& info) { return info.param.name(); });
+
+TEST(MbcWithRadius, ZeroRadiusKeepsDistinctPoints) {
+  WeightedSet pts;
+  pts.push_back({Point{0.0}, 1});
+  pts.push_back({Point{0.0}, 2});  // duplicate location
+  pts.push_back({Point{1.0}, 1});
+  const MiniBallCovering mbc = mbc_with_radius(pts, 0.0, kL2);
+  EXPECT_EQ(mbc.reps.size(), 2u);  // duplicates merge even at radius 0
+  EXPECT_EQ(total_weight(mbc.reps), 4);
+}
+
+TEST(MbcWithRadius, LargeRadiusCollapsesToOne) {
+  const auto inst = testing::tiny_planted(3, 2, 2, 71);
+  const MiniBallCovering mbc = mbc_with_radius(inst.points, 1e9, kL2);
+  EXPECT_EQ(mbc.reps.size(), 1u);
+  EXPECT_EQ(total_weight(mbc.reps), total_weight(inst.points));
+}
+
+TEST(MbcWithRadius, RepsAreFirstFit) {
+  // Points 0..6 spacing 1, radius 1.5: rep 0 absorbs {0,1}, rep 2 absorbs
+  // {2,3}, rep 4 absorbs {4,5}, rep 6 absorbs {6}.
+  WeightedSet pts;
+  for (double x = 0; x < 7; x += 1) pts.push_back({Point{x}, 1});
+  const MiniBallCovering mbc = mbc_with_radius(pts, 1.5, kL2);
+  ASSERT_EQ(mbc.reps.size(), 4u);
+  EXPECT_DOUBLE_EQ(mbc.reps[0].p[0], 0.0);
+  EXPECT_DOUBLE_EQ(mbc.reps[1].p[0], 2.0);
+  EXPECT_DOUBLE_EQ(mbc.reps[2].p[0], 4.0);
+  EXPECT_DOUBLE_EQ(mbc.reps[3].p[0], 6.0);
+  EXPECT_EQ(mbc.reps[0].w, 2);
+  EXPECT_EQ(mbc.reps[3].w, 1);
+}
+
+TEST(Mbc, ExpansionPropertyDefinitionOne) {
+  // Definition 1(2): a solution feasible on the coreset, expanded by
+  // ε·opt, stays feasible on P.  Use the planted opt_hi as the opt proxy
+  // (valid since slack only grows with opt).
+  const auto inst = testing::tiny_planted(3, 5, 2, 73);
+  const double eps = 0.5;
+  const MiniBallCovering mbc = mbc_construct(inst.points, 3, 5, eps, kL2);
+  const Solution sol = solve_kcenter_outliers(mbc.reps, 3, 5, kL2);
+  EXPECT_TRUE(check_expansion_property(inst.points, mbc.reps, sol.centers,
+                                       sol.radius, eps * inst.opt_hi, 5,
+                                       kL2));
+}
+
+TEST(Mbc, SandwichOnRadius) {
+  // Lemma 3 ⇒ (1−ε)opt ≤ opt(P*) ≤ (1+ε)opt.  With the bracket
+  // [opt_lo, opt_hi] we can assert opt(P*) ≤ (1+ε)opt_hi and
+  // opt(P*) ≥ (1−ε)opt_lo using the exact evaluator on candidate centers.
+  const auto inst = testing::tiny_planted(2, 4, 2, 79);
+  const double eps = 0.25;
+  const MiniBallCovering mbc = mbc_construct(inst.points, 2, 4, eps, kL2);
+  // Upper: planted centers on the coreset give radius ≤ opt_hi + ε·opt_hi.
+  const double up =
+      radius_with_outliers(mbc.reps, inst.planted_centers, 4, kL2);
+  EXPECT_LE(up, (1 + eps) * inst.opt_hi + 1e-9);
+}
+
+TEST(MergeCoresets, ConcatenatesAndPreservesWeight) {
+  const auto a = testing::tiny_planted(2, 2, 2, 83);
+  const auto b = testing::tiny_planted(2, 2, 2, 89);
+  const MiniBallCovering ca = mbc_construct(a.points, 2, 2, 0.5, kL2);
+  const MiniBallCovering cb = mbc_construct(b.points, 2, 2, 0.5, kL2);
+  const WeightedSet merged = merge_coresets({ca.reps, cb.reps});
+  EXPECT_EQ(merged.size(), ca.reps.size() + cb.reps.size());
+  EXPECT_EQ(total_weight(merged),
+            total_weight(a.points) + total_weight(b.points));
+}
+
+TEST(Mbc, EmptyInput) {
+  const MiniBallCovering mbc = mbc_construct({}, 2, 1, 0.5, kL2);
+  EXPECT_TRUE(mbc.reps.empty());
+}
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "mpc/partition.hpp"
+#include "mpc/simulator.hpp"
+#include "workload/generators.hpp"
+
+namespace kc::mpc {
+namespace {
+
+TEST(Simulator, RoutesMessages) {
+  Simulator sim(3, 2);
+  sim.round([&](int id, std::vector<Message>&, std::vector<Message>& out) {
+    if (id != 0) {
+      Message m;
+      m.to = 0;
+      m.scalars = {static_cast<double>(id)};
+      out.push_back(std::move(m));
+    }
+  });
+  EXPECT_EQ(sim.stats().rounds, 1);
+  auto& inbox = sim.inbox(0);
+  ASSERT_EQ(inbox.size(), 2u);
+  double sum = 0;
+  for (const auto& m : inbox) sum += m.scalars.at(0);
+  EXPECT_DOUBLE_EQ(sum, 3.0);  // from machines 1 and 2
+}
+
+TEST(Simulator, CommunicationAccounting) {
+  Simulator sim(2, 3);  // dim 3 → weighted point = 4 words
+  sim.round([&](int id, std::vector<Message>&, std::vector<Message>& out) {
+    if (id == 1) {
+      Message m;
+      m.to = 0;
+      m.scalars = {1.0, 2.0};             // 2 words
+      m.points.push_back({Point{1.0, 2.0, 3.0}, 1});  // 4 words
+      out.push_back(std::move(m));
+    }
+  });
+  EXPECT_EQ(sim.stats().total_comm_words, 6u);
+  EXPECT_EQ(sim.stats().comm_words_per_round.at(0), 6u);
+}
+
+TEST(Simulator, SelfMessagesAreFree) {
+  Simulator sim(2, 2);
+  sim.round([&](int id, std::vector<Message>&, std::vector<Message>& out) {
+    Message m;
+    m.to = id;  // self
+    m.scalars = {1.0, 2.0, 3.0};
+    out.push_back(std::move(m));
+  });
+  EXPECT_EQ(sim.stats().total_comm_words, 0u);
+  EXPECT_EQ(sim.inbox(0).size(), 1u);  // still delivered
+}
+
+TEST(Simulator, PeakStorageIsMax) {
+  Simulator sim(2, 2);
+  sim.record_storage(1, 100);
+  sim.record_storage(1, 50);
+  sim.record_storage(0, 10);
+  EXPECT_EQ(sim.stats().peak_words.at(1), 100u);
+  EXPECT_EQ(sim.stats().max_worker_words(), 100u);
+  EXPECT_EQ(sim.stats().coordinator_words(), 10u);
+}
+
+TEST(Simulator, InboxClearedEachRound) {
+  Simulator sim(2, 2);
+  sim.round([&](int id, std::vector<Message>&, std::vector<Message>& out) {
+    if (id == 1) {
+      Message m;
+      m.to = 0;
+      m.scalars = {1.0};
+      out.push_back(std::move(m));
+    }
+  });
+  EXPECT_EQ(sim.inbox(0).size(), 1u);
+  sim.round([&](int, std::vector<Message>&, std::vector<Message>&) {});
+  EXPECT_TRUE(sim.inbox(0).empty());
+  EXPECT_EQ(sim.stats().rounds, 2);
+}
+
+TEST(Partition, RoundRobinEven) {
+  const WeightedSet pts = make_uniform(103, 2, 10.0, 1);
+  const auto parts = partition_points(pts, 10, PartitionKind::RoundRobin, 0);
+  ASSERT_EQ(parts.size(), 10u);
+  std::size_t total = 0;
+  for (const auto& p : parts) {
+    EXPECT_GE(p.size(), 10u);
+    EXPECT_LE(p.size(), 11u);
+    total += p.size();
+  }
+  EXPECT_EQ(total, 103u);
+}
+
+TEST(Partition, EvenSortedIsContiguousAndEven) {
+  const WeightedSet pts = make_uniform(100, 2, 10.0, 2);
+  const auto parts = partition_points(pts, 4, PartitionKind::EvenSorted, 0);
+  std::size_t total = 0;
+  double prev_max = -1e300;
+  for (const auto& part : parts) {
+    EXPECT_EQ(part.size(), 25u);
+    total += part.size();
+    double lo = 1e300, hi = -1e300;
+    for (const auto& wp : part) {
+      lo = std::min(lo, wp.p[0]);
+      hi = std::max(hi, wp.p[0]);
+    }
+    EXPECT_GE(lo, prev_max - 1e-12);  // blocks ordered along x
+    prev_max = hi;
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(Partition, RandomCoversAllPoints) {
+  const WeightedSet pts = make_uniform(500, 2, 10.0, 3);
+  const auto parts = partition_points(pts, 7, PartitionKind::Random, 42);
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  EXPECT_EQ(total, 500u);
+  // Deterministic for a fixed seed.
+  const auto parts2 = partition_points(pts, 7, PartitionKind::Random, 42);
+  for (std::size_t i = 0; i < parts.size(); ++i)
+    EXPECT_EQ(parts[i].size(), parts2[i].size());
+}
+
+TEST(Partition, AdversarialConcentratesOutliers) {
+  // Planted outliers have the most-negative x coordinates, so EvenSorted
+  // puts all of them on machine 0 — the adversarial case for Algorithm 2.
+  PlantedConfig cfg;
+  cfg.n = 400;
+  cfg.k = 3;
+  cfg.z = 12;
+  cfg.seed = 9;
+  const auto inst = make_planted(cfg);
+  const auto parts =
+      partition_points(inst.points, 8, PartitionKind::EvenSorted, 0);
+  // Machine 0 holds the 50 smallest x's, which include all 12 outliers.
+  std::size_t outliers_on_m0 = 0;
+  for (const auto& wp : parts[0])
+    if (wp.p[0] < -10.0) ++outliers_on_m0;
+  EXPECT_EQ(outliers_on_m0, 12u);
+}
+
+}  // namespace
+}  // namespace kc::mpc

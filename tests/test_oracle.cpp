@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "core/radius_oracle.hpp"
+#include "test_support.hpp"
+
+namespace kc {
+namespace {
+
+const Metric kL2{Norm::L2};
+
+class OracleKinds : public ::testing::TestWithParam<OracleKind> {};
+
+TEST_P(OracleKinds, TwoSidedOnPlanted) {
+  OracleOptions opt;
+  opt.kind = GetParam();
+  for (std::uint64_t seed : {10ULL, 20ULL, 30ULL}) {
+    const auto inst = testing::tiny_planted(3, 4, 2, seed);
+    const RadiusEstimate est =
+        estimate_radius(inst.points, 3, 4, kL2, opt);
+    EXPECT_GE(est.radius, inst.opt_lo - 1e-9) << "seed " << seed;
+    EXPECT_LE(est.radius, est.rho * inst.opt_hi + 1e-9) << "seed " << seed;
+    EXPECT_GE(est.rho, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, OracleKinds,
+                         ::testing::Values(OracleKind::Charikar,
+                                           OracleKind::Summary,
+                                           OracleKind::Auto),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case OracleKind::Charikar: return "Charikar";
+                             case OracleKind::Summary: return "Summary";
+                             case OracleKind::Auto: return "Auto";
+                           }
+                           return "?";
+                         });
+
+TEST(SummaryOracle, BudgetFormula) {
+  // τ = k·⌈4/γ⌉^d + z + 1
+  EXPECT_EQ(summary_center_budget(2, 5, 0.5, 2), 2 * 64 + 5 + 1);
+  EXPECT_EQ(summary_center_budget(1, 0, 1.0, 1), 4 + 0 + 1);
+}
+
+TEST(SummaryOracle, LargeInstanceStillTwoSided) {
+  PlantedConfig cfg;
+  cfg.n = 4000;
+  cfg.k = 3;
+  cfg.z = 8;
+  cfg.dim = 2;
+  cfg.seed = 99;
+  const auto inst = make_planted(cfg);
+  OracleOptions opt;
+  opt.kind = OracleKind::Summary;
+  const RadiusEstimate est = estimate_radius(inst.points, 3, 8, kL2, opt);
+  EXPECT_GE(est.radius, inst.opt_lo - 1e-9);
+  EXPECT_LE(est.radius, est.rho * inst.opt_hi + 1e-9);
+}
+
+TEST(AutoOracle, SwitchesOnSize) {
+  // Just a smoke check that Auto works below and above the threshold and
+  // produces sane estimates in both regimes.
+  OracleOptions opt;
+  opt.kind = OracleKind::Auto;
+  opt.auto_threshold = 100;
+
+  const auto small = testing::tiny_planted(2, 2, 2, 5);
+  const RadiusEstimate a = estimate_radius(small.points, 2, 2, kL2, opt);
+  EXPECT_GT(a.radius, 0.0);
+
+  PlantedConfig cfg;
+  cfg.n = 1500;
+  cfg.k = 2;
+  cfg.z = 2;
+  cfg.seed = 6;
+  const auto big = make_planted(cfg);
+  const RadiusEstimate b = estimate_radius(big.points, 2, 2, kL2, opt);
+  EXPECT_GE(b.radius, big.opt_lo - 1e-9);
+  EXPECT_LE(b.radius, b.rho * big.opt_hi + 1e-9);
+}
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,190 @@
+// Broad parameterized sweeps (TEST_P) over the configuration spaces of the
+// dynamic sketch, the R-round MPC algorithm, and the sliding window —
+// checking the structural invariants at every grid point.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/cost.hpp"
+#include "dynamic/dynamic_coreset.hpp"
+#include "mpc/multi_round.hpp"
+#include "mpc/partition.hpp"
+#include "stream/sliding_window.hpp"
+#include "test_support.hpp"
+#include "workload/streams.hpp"
+
+namespace kc {
+namespace {
+
+const Metric kL2{Norm::L2};
+
+// ---------------------------------------------------------------- dynamic
+struct DynParam {
+  std::int64_t delta;
+  std::int64_t z;
+  double eps;
+  std::string name() const {
+    std::ostringstream o;
+    o << "d" << delta << "_z" << z << "_e" << static_cast<int>(eps * 100);
+    return o.str();
+  }
+};
+
+class DynamicSweep : public ::testing::TestWithParam<DynParam> {};
+
+TEST_P(DynamicSweep, InvariantsAtEveryGridPoint) {
+  const auto p = GetParam();
+  dynamic::DynamicCoresetOptions opt;
+  opt.k = 2;
+  opt.z = p.z;
+  opt.eps = p.eps;
+  opt.delta = p.delta;
+  opt.dim = 2;
+  opt.seed = 17;
+  dynamic::DynamicCoreset dc(opt);
+
+  // Sample budget formula.
+  EXPECT_EQ(dc.sample_budget(),
+            dynamic::dynamic_sample_budget(2, p.z, p.eps, 2));
+
+  // Feed a script, query, and check the structural invariants.
+  PlantedConfig cfg;
+  cfg.n = 500;
+  cfg.k = 2;
+  cfg.z = p.z;
+  cfg.dim = 2;
+  cfg.seed = 21;
+  const auto inst = make_planted(cfg);
+  const auto grid = discretize(inst.points, p.delta);
+  const auto script = make_dynamic_script(grid, 200, p.delta, 2, 23);
+  for (const auto& up : script) dc.update(up.p, up.sign);
+
+  const auto q = dc.query();
+  ASSERT_TRUE(q.ok);
+  EXPECT_EQ(total_weight(q.coreset), 500);
+  EXPECT_LE(static_cast<std::int64_t>(q.nonempty_cells), dc.sample_budget());
+  EXPECT_GE(q.level, 0);
+  EXPECT_LT(q.level, dc.grids().levels());
+  // Covering: every live point within half a cell diagonal of its center.
+  const double slack = q.cell_side * std::sqrt(2.0) / 2.0 + 1e-9;
+  for (const auto& g : grid) {
+    double best = 1e300;
+    for (const auto& rep : q.coreset)
+      best = std::min(best, kL2.dist(g.to_point(), rep.p));
+    ASSERT_LE(best, slack);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DynamicSweep,
+    ::testing::Values(DynParam{64, 2, 1.0}, DynParam{64, 16, 0.5},
+                      DynParam{256, 2, 1.0}, DynParam{256, 16, 1.0},
+                      DynParam{1024, 8, 0.5}, DynParam{4096, 4, 1.0}),
+    [](const auto& info) { return info.param.name(); });
+
+// ------------------------------------------------------------ multi-round
+struct RoundParam {
+  int m;
+  int rounds;
+  std::string name() const {
+    std::ostringstream o;
+    o << "m" << m << "_R" << rounds;
+    return o.str();
+  }
+};
+
+class MultiRoundSweep : public ::testing::TestWithParam<RoundParam> {};
+
+TEST_P(MultiRoundSweep, BetaAndValidityAtEveryGridPoint) {
+  const auto p = GetParam();
+  PlantedConfig cfg;
+  cfg.n = 1200;
+  cfg.k = 2;
+  cfg.z = 8;
+  cfg.dim = 2;
+  cfg.seed = 29;
+  const auto inst = make_planted(cfg);
+  const auto parts = mpc::partition_points(
+      inst.points, p.m, mpc::PartitionKind::RoundRobin, 0);
+  mpc::MultiRoundOptions opt;
+  opt.eps = 0.25;
+  opt.rounds = p.rounds;
+  const auto res = mpc::multi_round_coreset(parts, 2, 8, kL2, opt);
+
+  // β = max(2, ⌈m^{1/R}⌉) and after R rounds one machine remains.
+  EXPECT_EQ(res.beta,
+            std::max(2, static_cast<int>(std::ceil(
+                            std::pow(p.m, 1.0 / p.rounds)))));
+  EXPECT_EQ(res.stats.rounds, p.rounds);
+  EXPECT_NEAR(res.eps_effective, std::pow(1.25, p.rounds) - 1.0, 1e-12);
+
+  // Validity: weights preserved, planted centers cover within budget.
+  EXPECT_EQ(total_weight(res.coreset), 1200);
+  const double r =
+      radius_with_outliers(res.coreset, inst.planted_centers, 8, kL2);
+  EXPECT_LE(r, (1.0 + res.eps_effective) * inst.opt_hi + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MultiRoundSweep,
+    ::testing::Values(RoundParam{5, 1}, RoundParam{5, 2}, RoundParam{16, 1},
+                      RoundParam{16, 2}, RoundParam{16, 4}, RoundParam{27, 3},
+                      RoundParam{27, 2}),
+    [](const auto& info) { return info.param.name(); });
+
+// -------------------------------------------------------- sliding window
+struct SwParam {
+  std::int64_t window;
+  std::int64_t z;
+  std::string name() const {
+    std::ostringstream o;
+    o << "W" << window << "_z" << z;
+    return o.str();
+  }
+};
+
+class SlidingSweep : public ::testing::TestWithParam<SwParam> {};
+
+TEST_P(SlidingSweep, WindowInvariantsAtEveryGridPoint) {
+  const auto p = GetParam();
+  stream::SlidingWindow sw(2, p.z, 1.0, 1, p.window, 0.5, 128.0, kL2);
+  Rng rng(31);
+  std::vector<Point> history;
+  const std::int64_t n = 3 * p.window;
+  for (std::int64_t t = 1; t <= n; ++t) {
+    Point pt{rng.bernoulli(0.1) ? rng.uniform_real(0, 100)
+                                : 50.0 + rng.uniform_real(0, 2)};
+    history.push_back(pt);
+    sw.insert(pt, t);
+  }
+  const auto q = sw.query(n);
+  ASSERT_GE(q.level, 0);
+  // Coverage of the alive window.
+  for (std::int64_t t = n - p.window + 1; t <= n; ++t) {
+    double best = 1e300;
+    for (const auto& rep : q.coreset)
+      best = std::min(best,
+                      kL2.dist(history[static_cast<std::size_t>(t - 1)], rep.p));
+    ASSERT_LE(best, q.cover_radius + 1e-9);
+  }
+  // Weight caps: no rep may claim more than z+1, and the total is within
+  // the window length.
+  std::int64_t total = 0;
+  for (const auto& rep : q.coreset) {
+    EXPECT_LE(rep.w, p.z + 1);
+    total += rep.w;
+  }
+  EXPECT_LE(total, p.window);
+  EXPECT_GT(total, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SlidingSweep,
+    ::testing::Values(SwParam{50, 1}, SwParam{50, 8}, SwParam{200, 2},
+                      SwParam{200, 16}, SwParam{500, 4}),
+    [](const auto& info) { return info.param.name(); });
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,135 @@
+// Deterministic s-sparse recovery (power sums + Berlekamp–Massey): the
+// Vandermonde determinisation the paper sketches in §1/§5.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sketch/power_sum.hpp"
+#include "util/rng.hpp"
+
+namespace kc::sketch {
+namespace {
+
+TEST(PowerSum, EmptyDecodesEmpty) {
+  PowerSumSketch sk(4);
+  EXPECT_TRUE(sk.empty());
+  const auto dec = sk.decode(100);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_TRUE(dec->empty());
+}
+
+TEST(PowerSum, SingleKey) {
+  PowerSumSketch sk(4);
+  sk.update(17, 3);
+  const auto dec = sk.decode(64);
+  ASSERT_TRUE(dec.has_value());
+  ASSERT_EQ(dec->size(), 1u);
+  EXPECT_EQ((*dec)[0].key, 17u);
+  EXPECT_EQ((*dec)[0].count, 3);
+}
+
+TEST(PowerSum, FullCapacityExact) {
+  PowerSumSketch sk(8);
+  std::map<std::uint64_t, std::int64_t> truth = {{3, 1},  {9, 4}, {15, 2},
+                                                 {22, 7}, {31, 1}, {40, 9},
+                                                 {41, 2}, {63, 5}};
+  for (const auto& [k, c] : truth) sk.update(k, c);
+  const auto dec = sk.decode(64);
+  ASSERT_TRUE(dec.has_value());
+  ASSERT_EQ(dec->size(), truth.size());
+  for (const auto& item : *dec) {
+    ASSERT_TRUE(truth.count(item.key));
+    EXPECT_EQ(item.count, truth[item.key]);
+  }
+}
+
+TEST(PowerSum, DeletionsCancel) {
+  PowerSumSketch sk(4);
+  sk.update(5, 2);
+  sk.update(9, 1);
+  sk.update(5, -2);
+  const auto dec = sk.decode(32);
+  ASSERT_TRUE(dec.has_value());
+  ASSERT_EQ(dec->size(), 1u);
+  EXPECT_EQ((*dec)[0].key, 9u);
+}
+
+TEST(PowerSum, IncrementalUpdatesAccumulate) {
+  PowerSumSketch sk(4);
+  for (int i = 0; i < 10; ++i) sk.update(7, 1);
+  const auto dec = sk.decode(16);
+  ASSERT_TRUE(dec.has_value());
+  ASSERT_EQ(dec->size(), 1u);
+  EXPECT_EQ((*dec)[0].count, 10);
+}
+
+TEST(PowerSum, OverCapacityFailsSafely) {
+  PowerSumSketch sk(3);
+  for (std::uint64_t k = 0; k < 10; ++k) sk.update(k, 1);
+  EXPECT_FALSE(sk.decode(16).has_value());
+}
+
+TEST(PowerSum, DeterministicAcrossInstances) {
+  // No randomness at all: two sketches fed identically decode identically.
+  PowerSumSketch a(4), b(4);
+  for (const auto& [k, c] :
+       std::map<std::uint64_t, std::int64_t>{{2, 1}, {5, 2}, {11, 3}}) {
+    a.update(k, c);
+    b.update(k, c);
+  }
+  const auto da = a.decode(16), db = b.decode(16);
+  ASSERT_TRUE(da.has_value() && db.has_value());
+  ASSERT_EQ(da->size(), db->size());
+  for (std::size_t i = 0; i < da->size(); ++i) {
+    EXPECT_EQ((*da)[i].key, (*db)[i].key);
+    EXPECT_EQ((*da)[i].count, (*db)[i].count);
+  }
+}
+
+TEST(PowerSum, CandidateDecodeAvoidsUniverseScan) {
+  PowerSumSketch sk(4);
+  sk.update(1000003, 2);
+  sk.update(2000003, 5);
+  const auto dec = sk.decode_candidates({1000003, 2000003, 999, 12345});
+  ASSERT_TRUE(dec.has_value());
+  ASSERT_EQ(dec->size(), 2u);
+  EXPECT_EQ((*dec)[0].key, 1000003u);
+  EXPECT_EQ((*dec)[1].key, 2000003u);
+}
+
+TEST(PowerSum, CandidateDecodeFailsIfSupportMissing) {
+  PowerSumSketch sk(4);
+  sk.update(77, 1);
+  sk.update(88, 1);
+  // 88 missing from candidates → support mismatch → failure, not a wrong
+  // answer.
+  EXPECT_FALSE(sk.decode_candidates({77, 99}).has_value());
+}
+
+TEST(PowerSum, RandomizedStress) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t s = 1 + rng.uniform(6);
+    PowerSumSketch sk(s);
+    std::map<std::uint64_t, std::int64_t> truth;
+    const auto keys = 1 + rng.uniform(s);
+    for (std::uint64_t i = 0; i < keys; ++i) {
+      const std::uint64_t key = rng.uniform(128);
+      const auto count = static_cast<std::int64_t>(1 + rng.uniform(5));
+      truth[key] += count;
+      sk.update(key, count);
+    }
+    const auto dec = sk.decode(128);
+    ASSERT_TRUE(dec.has_value()) << "trial " << trial;
+    ASSERT_EQ(dec->size(), truth.size()) << "trial " << trial;
+    for (const auto& item : *dec) EXPECT_EQ(item.count, truth[item.key]);
+  }
+}
+
+TEST(PowerSum, WordsIsTwiceCapacity) {
+  EXPECT_EQ(PowerSumSketch(6).words(), 12u);
+}
+
+}  // namespace
+}  // namespace kc::sketch

@@ -1,0 +1,246 @@
+// Cross-cutting property tests: metric invariance (L∞ vs L2), weighted
+// inputs through every pipeline, failure injection for the sketches, and
+// the exact-solver path for the (1+ε) end-to-end guarantee.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/cost.hpp"
+#include "core/mbc.hpp"
+#include "core/solver.hpp"
+#include "core/verify.hpp"
+#include "mpc/partition.hpp"
+#include "mpc/two_round.hpp"
+#include "sketch/sparse_recovery.hpp"
+#include "stream/insertion_only.hpp"
+#include "test_support.hpp"
+#include "workload/streams.hpp"
+
+namespace kc {
+namespace {
+
+class NormSweep : public ::testing::TestWithParam<Norm> {};
+
+TEST_P(NormSweep, MbcGuaranteesHoldInEveryNorm) {
+  const Metric metric{GetParam()};
+  PlantedConfig cfg;
+  cfg.n = 600;
+  cfg.k = 3;
+  cfg.z = 8;
+  cfg.dim = 2;
+  cfg.seed = 303;
+  cfg.norm = GetParam();
+  const auto inst = make_planted(cfg);
+  const MiniBallCovering mbc =
+      mbc_construct(inst.points, 3, 8, 0.5, metric);
+  EXPECT_TRUE(check_mbc_structure(inst.points, mbc));
+  EXPECT_LE(max_assignment_dist(inst.points, mbc, metric),
+            0.5 * inst.opt_hi + 1e-9);
+}
+
+TEST_P(NormSweep, StreamingHoldsInEveryNorm) {
+  const Metric metric{GetParam()};
+  PlantedConfig cfg;
+  cfg.n = 900;
+  cfg.k = 2;
+  cfg.z = 6;
+  cfg.dim = 1;
+  cfg.seed = 307;
+  cfg.norm = GetParam();
+  const auto inst = make_planted(cfg);
+  stream::InsertionOnlyStream s(2, 6, 1.0, 1, metric);
+  for (const auto& wp : inst.points) s.insert(wp.p);
+  EXPECT_LE(s.r(), inst.opt_hi + 1e-9);
+  EXPECT_LE(s.coreset().size(), s.threshold());
+}
+
+TEST_P(NormSweep, TwoRoundHoldsInEveryNorm) {
+  const Metric metric{GetParam()};
+  PlantedConfig cfg;
+  cfg.n = 800;
+  cfg.k = 2;
+  cfg.z = 6;
+  cfg.dim = 2;
+  cfg.seed = 311;
+  cfg.norm = GetParam();
+  const auto inst = make_planted(cfg);
+  const auto parts = mpc::partition_points(
+      inst.points, 4, mpc::PartitionKind::EvenSorted, 0);
+  mpc::TwoRoundOptions opt;
+  opt.eps = 0.5;
+  const auto res = mpc::two_round_coreset(parts, 2, 6, metric, opt);
+  EXPECT_EQ(total_weight(res.coreset),
+            static_cast<std::int64_t>(inst.points.size()));
+  EXPECT_LE(res.sum_outlier_guesses, 12);
+  const double r =
+      radius_with_outliers(res.coreset, inst.planted_centers, 6, metric);
+  EXPECT_LE(r, (1.0 + res.eps_effective) * inst.opt_hi + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNorms, NormSweep,
+                         ::testing::Values(Norm::L2, Norm::Linf, Norm::L1),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Norm::L2: return "L2";
+                             case Norm::Linf: return "Linf";
+                             case Norm::L1: return "L1";
+                             default: return "other";
+                           }
+                         });
+
+TEST(WeightedStream, ArrivalWeightsRespectBudget) {
+  const Metric metric{Norm::L2};
+  stream::InsertionOnlyStream s(1, 3, 1.0, 1, metric);
+  // Heavy point far away: weight 4 > z = 3, so it can never be an outlier.
+  s.insert_weighted(Point{0.0}, 1);
+  s.insert_weighted(Point{100.0}, 4);
+  for (double x : {1.0, 2.0, 3.0, 0.5, 1.5, 2.5}) s.insert(Point{x});
+  EXPECT_EQ(total_weight(s.coreset()), 1 + 4 + 6);
+  // The solver must keep the heavy point covered.
+  const Solution sol = solve_kcenter_outliers(s.coreset(), 1, 3, metric);
+  const double d_heavy = metric.dist(sol.centers.front(), Point{100.0});
+  const double d_near = metric.dist(sol.centers.front(), Point{1.5});
+  EXPECT_TRUE(d_heavy <= sol.radius + 1e-9 || d_near > sol.radius + 1e-9)
+      << "solution must cover the weight-4 point or pay for the cluster";
+}
+
+TEST(WeightedMbc, HeavyPointsStayRepresentativeExact) {
+  const Metric metric{Norm::L2};
+  WeightedSet pts;
+  pts.push_back({Point{0.0}, 10});
+  pts.push_back({Point{0.1}, 1});
+  pts.push_back({Point{50.0}, 3});
+  const MiniBallCovering mbc = mbc_with_radius(pts, 0.5, metric);
+  ASSERT_EQ(mbc.reps.size(), 2u);
+  EXPECT_EQ(mbc.reps[0].w, 11);
+  EXPECT_EQ(mbc.reps[1].w, 3);
+}
+
+TEST(ExactSolver, MatchesBruteForceOnSmallCoreset) {
+  const Metric metric{Norm::L2};
+  const auto inst = testing::tiny_planted(2, 2, 1, 313);
+  WeightedSet small(inst.points.begin(), inst.points.begin() + 12);
+  const Solution exact = solve_kcenter_outliers_exact(small, 2, 2, metric);
+  const Solution greedy = solve_kcenter_outliers(small, 2, 2, metric);
+  EXPECT_LE(exact.radius, greedy.radius + 1e-9);
+}
+
+TEST(ExactSolver, FallsBackGracefullyOnLargeInput) {
+  const Metric metric{Norm::L2};
+  const auto inst = testing::tiny_planted(3, 4, 2, 317);
+  // Tiny budget forces the greedy fallback.
+  const Solution sol =
+      solve_kcenter_outliers_exact(inst.points, 3, 4, metric, /*budget=*/10);
+  EXPECT_GT(sol.centers.size(), 0u);
+  EXPECT_GE(sol.radius, 0.0);
+}
+
+TEST(ExactSolver, OnCoresetGivesOnePlusEpsPath) {
+  // The paper's (1+ε) path: exact solve on the coreset, evaluated on P,
+  // must be within (1+O(ε)) of the exact solve on P itself.
+  const Metric metric{Norm::L2};
+  PlantedConfig cfg;
+  cfg.n = 60;
+  cfg.k = 2;
+  cfg.z = 2;
+  cfg.dim = 1;
+  cfg.seed = 331;
+  const auto inst = make_planted(cfg);
+  const double eps = 0.25;
+  const MiniBallCovering mbc =
+      mbc_construct(inst.points, 2, 2, eps, metric);
+  const Solution via = solve_kcenter_outliers_exact(mbc.reps, 2, 2, metric);
+  const double on_full =
+      radius_with_outliers(inst.points, via.centers, 2, metric);
+  const Solution direct =
+      solve_kcenter_outliers_exact(inst.points, 2, 2, metric);
+  EXPECT_LE(on_full, (1.0 + 3.0 * eps) * direct.radius + 1e-9);
+}
+
+TEST(Classify, LabelsMatchCostModel) {
+  const Metric metric{Norm::L2};
+  PlantedConfig cfg;
+  cfg.n = 400;
+  cfg.k = 3;
+  cfg.z = 7;
+  cfg.dim = 2;
+  cfg.seed = 401;
+  const auto inst = make_planted(cfg);
+  const Solution sol = evaluate(inst.points, inst.planted_centers, 7, metric);
+  const Labeling lab = classify(inst.points, sol, metric);
+  ASSERT_EQ(lab.labels.size(), inst.points.size());
+  // Outlier weight must not exceed z (sol.radius came from the evaluator).
+  EXPECT_LE(lab.outlier_weight, 7);
+  // Every labelled point is within the radius of its assigned center; every
+  // planted outlier is labelled −1.
+  for (std::size_t i = 0; i < inst.points.size(); ++i) {
+    if (lab.labels[i] >= 0) {
+      EXPECT_LE(metric.dist(inst.points[i].p,
+                            sol.centers[static_cast<std::size_t>(lab.labels[i])]),
+                sol.radius * (1 + 1e-9));
+    }
+  }
+  std::size_t planted_outliers_flagged = 0;
+  for (auto idx : inst.outlier_indices)
+    if (lab.labels[idx] == -1) ++planted_outliers_flagged;
+  EXPECT_EQ(planted_outliers_flagged, inst.outlier_indices.size());
+}
+
+TEST(Classify, NoOutliersWhenRadiusCoversAll) {
+  const Metric metric{Norm::L2};
+  WeightedSet pts;
+  for (double x : {0.0, 1.0, 2.0}) pts.push_back({Point{x}, 1});
+  Solution sol;
+  sol.centers = {Point{1.0}};
+  sol.radius = 5.0;
+  const Labeling lab = classify(pts, sol, metric);
+  EXPECT_EQ(lab.outlier_weight, 0);
+  for (int l : lab.labels) EXPECT_EQ(l, 0);
+}
+
+TEST(FailureInjection, SparseRecoveryNeverFabricatesKeys) {
+  // Feed far more keys than capacity; whatever decode returns must be a
+  // subset of the true support with true counts.
+  sketch::SparseRecovery sk(8, 99);
+  std::map<std::uint64_t, std::int64_t> truth;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t key = rng() % 1000;
+    truth[key] += 1;
+    sk.update(key, 1);
+  }
+  const auto dec = sk.decode();
+  EXPECT_FALSE(dec.complete);
+  for (const auto& item : dec.items) {
+    auto it = truth.find(item.key);
+    ASSERT_NE(it, truth.end()) << "fabricated key " << item.key;
+    EXPECT_EQ(item.count, it->second);
+  }
+}
+
+TEST(FailureInjection, StreamSurvivesPathologicalOrder) {
+  // Geometric distances (worst case for doubling): 1, 2, 4, 8, …
+  const Metric metric{Norm::L2};
+  stream::InsertionOnlyStream s(2, 2, 1.0, 1, metric);
+  double x = 1.0;
+  for (int i = 0; i < 40; ++i) {
+    s.insert(Point{x});
+    x *= 2.0;
+    ASSERT_LE(s.coreset().size(), s.threshold());
+  }
+  EXPECT_EQ(total_weight(s.coreset()), 40);
+}
+
+TEST(FailureInjection, DuplicateHeavyStreamNeverDividesByZero) {
+  const Metric metric{Norm::L2};
+  stream::InsertionOnlyStream s(1, 0, 0.5, 1, metric);
+  for (int i = 0; i < 100; ++i) s.insert(Point{7.0});
+  // k+z+1 = 2 distinct points never reached: r stays 0, no crash.
+  EXPECT_DOUBLE_EQ(s.r(), 0.0);
+  EXPECT_EQ(s.coreset().size(), 1u);
+}
+
+}  // namespace
+}  // namespace kc

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "sketch/one_sparse.hpp"
+#include "sketch/sparse_recovery.hpp"
+#include "util/rng.hpp"
+
+namespace kc::sketch {
+namespace {
+
+TEST(OneSparse, RecoversSingleton) {
+  OneSparseCell cell(7);
+  cell.update(42, 5);
+  const auto rec = cell.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->key, 42u);
+  EXPECT_EQ(rec->count, 5);
+}
+
+TEST(OneSparse, EmptyAfterCancellation) {
+  OneSparseCell cell(7);
+  cell.update(42, 5);
+  cell.update(42, -5);
+  EXPECT_TRUE(cell.empty());
+  EXPECT_FALSE(cell.recover().has_value());
+}
+
+TEST(OneSparse, RejectsTwoKeys) {
+  OneSparseCell cell(7);
+  cell.update(1, 1);
+  cell.update(2, 1);
+  EXPECT_FALSE(cell.recover().has_value());
+  EXPECT_FALSE(cell.empty());
+}
+
+TEST(OneSparse, RecoveryAfterPartialDeletes) {
+  OneSparseCell cell(13);
+  cell.update(100, 3);
+  cell.update(200, 2);
+  cell.update(200, -2);  // back to singleton
+  const auto rec = cell.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->key, 100u);
+  EXPECT_EQ(rec->count, 3);
+}
+
+TEST(OneSparse, LargeKeyRoundTrip) {
+  OneSparseCell cell(5);
+  const std::uint64_t key = (1ULL << 59) + 12345;
+  cell.update(key, 7);
+  const auto rec = cell.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->key, key);
+}
+
+TEST(SparseRecovery, ExactRecoveryWithinCapacity) {
+  SparseRecovery sk(32, /*seed=*/1);
+  std::map<std::uint64_t, std::int64_t> truth;
+  Rng rng(2);
+  for (int i = 0; i < 30; ++i) {
+    const std::uint64_t key = rng() % 100000;
+    const auto count = static_cast<std::int64_t>(1 + rng.uniform(9));
+    truth[key] += count;
+    sk.update(key, count);
+  }
+  const auto dec = sk.decode();
+  ASSERT_TRUE(dec.complete);
+  ASSERT_EQ(dec.items.size(), truth.size());
+  for (const auto& item : dec.items) {
+    ASSERT_TRUE(truth.count(item.key));
+    EXPECT_EQ(item.count, truth[item.key]);
+  }
+}
+
+TEST(SparseRecovery, DeletionsCancelExactly) {
+  SparseRecovery sk(16, 3);
+  for (int i = 0; i < 500; ++i) sk.update(static_cast<std::uint64_t>(i), 1);
+  for (int i = 0; i < 500; ++i)
+    if (i % 2 == 0) sk.update(static_cast<std::uint64_t>(i), -1);
+  // 250 keys remain — above capacity, decode must not report complete.
+  EXPECT_FALSE(sk.decode().complete);
+  for (int i = 0; i < 500; ++i)
+    if (i % 2 == 1 && i > 20) sk.update(static_cast<std::uint64_t>(i), -1);
+  // Keys 1..19 odd remain: 10 keys ≤ 16 capacity.
+  const auto dec = sk.decode();
+  ASSERT_TRUE(dec.complete);
+  EXPECT_EQ(dec.items.size(), 10u);
+  for (const auto& item : dec.items) {
+    EXPECT_EQ(item.key % 2, 1u);
+    EXPECT_LT(item.key, 21u);
+    EXPECT_EQ(item.count, 1);
+  }
+}
+
+TEST(SparseRecovery, EmptyDecodesComplete) {
+  SparseRecovery sk(8, 4);
+  const auto dec = sk.decode();
+  EXPECT_TRUE(dec.complete);
+  EXPECT_TRUE(dec.items.empty());
+}
+
+TEST(SparseRecovery, OvercapacityReportsIncomplete) {
+  SparseRecovery sk(8, 5);
+  for (int i = 0; i < 1000; ++i) sk.update(static_cast<std::uint64_t>(i * 7), 1);
+  const auto dec = sk.decode();
+  EXPECT_FALSE(dec.complete);
+}
+
+TEST(SparseRecovery, SuccessProbabilityAcrossSeeds) {
+  // At exactly capacity s, decoding must succeed for the vast majority of
+  // seeds (peeling threshold is ~2× capacity per row).
+  int successes = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    SparseRecovery sk(24, static_cast<std::uint64_t>(t) + 100);
+    Rng rng(static_cast<std::uint64_t>(t));
+    for (int i = 0; i < 24; ++i) sk.update(rng(), 1);
+    if (sk.decode().complete) ++successes;
+  }
+  EXPECT_GE(successes, trials - 1);
+}
+
+TEST(SparseRecovery, WordsAccounting) {
+  SparseRecovery sk(10, 1, 4);
+  // 4 rows × max(2·10, 8) buckets × 3 words + hash + header.
+  EXPECT_GE(sk.words(), 4u * 20u * 3u);
+  EXPECT_LE(sk.words(), 4u * 20u * 3u + 64u);
+}
+
+}  // namespace
+}  // namespace kc::sketch

@@ -1,0 +1,187 @@
+// Tests of Algorithm 3 (insertion-only streaming) and the threshold-policy
+// baseline, including the r ≤ opt invariant, the covering property, and
+// the space bound.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cost.hpp"
+#include "stream/insertion_only.hpp"
+#include "test_support.hpp"
+#include "workload/streams.hpp"
+
+namespace kc::stream {
+namespace {
+
+const Metric kL2{Norm::L2};
+
+// Feed a planted instance in the given order; return the stream state.
+InsertionOnlyStream feed(const PlantedInstance& inst,
+                         const std::vector<std::size_t>& order, int k,
+                         std::int64_t z, double eps, int dim,
+                         ThresholdPolicy policy = ThresholdPolicy::Ours) {
+  InsertionOnlyStream s(k, z, eps, dim, kL2, policy);
+  for (auto idx : order) s.insert(inst.points[idx].p);
+  return s;
+}
+
+TEST(InsertionOnly, ThresholdFormulas) {
+  EXPECT_EQ(stream_threshold(2, 5, 1.0, 1, ThresholdPolicy::Ours),
+            2u * 16u + 5u);
+  EXPECT_EQ(stream_threshold(2, 5, 1.0, 1, ThresholdPolicy::Ceccarello),
+            7u * 16u);
+  EXPECT_EQ(stream_threshold(1, 0, 0.5, 2, ThresholdPolicy::Ours),
+            static_cast<std::size_t>(32 * 32));
+}
+
+TEST(InsertionOnly, WeightConservation) {
+  const auto inst = testing::tiny_planted(2, 3, 1, 51);
+  const auto order = shuffled_order(inst.points.size(), 5);
+  const auto s = feed(inst, order, 2, 3, 1.0, 1);
+  EXPECT_EQ(total_weight(s.coreset()),
+            static_cast<std::int64_t>(inst.points.size()));
+}
+
+TEST(InsertionOnly, SizeBoundHolds) {
+  PlantedConfig cfg;
+  cfg.n = 3000;
+  cfg.k = 2;
+  cfg.z = 8;
+  cfg.dim = 1;
+  cfg.seed = 53;
+  const auto inst = make_planted(cfg);
+  const auto order = shuffled_order(inst.points.size(), 7);
+  const auto s = feed(inst, order, 2, 8, 1.0, 1);
+  EXPECT_LE(s.coreset().size(), s.threshold());
+  EXPECT_LE(s.peak_size(), s.threshold());
+  EXPECT_GT(s.doublings(), 0);  // the instance is big enough to recompress
+}
+
+TEST(InsertionOnly, RIsLowerBoundOnOpt) {
+  // Invariant from Lemma 17: r ≤ optk,z(P(t)) ≤ opt_hi at the end.
+  PlantedConfig cfg;
+  cfg.n = 2000;
+  cfg.k = 3;
+  cfg.z = 6;
+  cfg.dim = 1;
+  cfg.seed = 59;
+  const auto inst = make_planted(cfg);
+  const auto order = shuffled_order(inst.points.size(), 9);
+  const auto s = feed(inst, order, 3, 6, 1.0, 1);
+  EXPECT_LE(s.r(), inst.opt_hi + 1e-9);
+}
+
+TEST(InsertionOnly, CoveringPropertyAfterStream) {
+  // Lemma 16: every inserted point is within ε·r of some representative.
+  PlantedConfig cfg;
+  cfg.n = 1500;
+  cfg.k = 2;
+  cfg.z = 5;
+  cfg.dim = 1;
+  cfg.seed = 61;
+  const auto inst = make_planted(cfg);
+  const auto order = shuffled_order(inst.points.size(), 11);
+  const auto s = feed(inst, order, 2, 5, 1.0, 1);
+  const double budget =
+      std::max(1.0, s.r() > 0 ? 1.0 : 1.0) * s.r() + 1e-9;  // ε = 1
+  for (const auto& wp : inst.points) {
+    double best = 1e300;
+    for (const auto& rep : s.coreset())
+      best = std::min(best, kL2.dist(wp.p, rep.p));
+    EXPECT_LE(best, budget);
+  }
+}
+
+TEST(InsertionOnly, CoresetCoversWithinEpsOpt) {
+  // End-to-end coreset property: planted centers cover the coreset within
+  // (1+ε)·opt_hi with z outliers.
+  PlantedConfig cfg;
+  cfg.n = 1500;
+  cfg.k = 2;
+  cfg.z = 6;
+  cfg.dim = 2;
+  cfg.seed = 67;
+  const auto inst = make_planted(cfg);
+  const auto order = shuffled_order(inst.points.size(), 13);
+  const auto s = feed(inst, order, 2, 6, 1.0, 2);
+  const double r =
+      radius_with_outliers(s.coreset(), inst.planted_centers, 6, kL2);
+  EXPECT_LE(r, (1.0 + 1.0) * inst.opt_hi + 1e-9);
+}
+
+TEST(InsertionOnly, AdversarialOrderSameGuarantees) {
+  PlantedConfig cfg;
+  cfg.n = 1200;
+  cfg.k = 2;
+  cfg.z = 10;
+  cfg.dim = 1;
+  cfg.seed = 71;
+  const auto inst = make_planted(cfg);
+  const auto order =
+      adversarial_order(strip_weights(inst.points), inst.outlier_indices);
+  const auto s = feed(inst, order, 2, 10, 1.0, 1);
+  EXPECT_LE(s.peak_size(), s.threshold());
+  EXPECT_LE(s.r(), inst.opt_hi + 1e-9);
+  EXPECT_EQ(total_weight(s.coreset()),
+            static_cast<std::int64_t>(inst.points.size()));
+}
+
+TEST(InsertionOnly, DuplicatesAbsorbedBeforeBootstrap) {
+  InsertionOnlyStream s(1, 0, 1.0, 1, kL2);
+  for (int i = 0; i < 10; ++i) s.insert(Point{5.0});
+  EXPECT_EQ(s.coreset().size(), 1u);
+  EXPECT_EQ(s.coreset()[0].w, 10);
+  EXPECT_DOUBLE_EQ(s.r(), 0.0);  // never saw k+z+1 distinct points
+}
+
+TEST(InsertionOnly, OursVsCeccarelloSpaceShape) {
+  // Same stream, both policies: our threshold (additive z) must yield a
+  // smaller-or-equal peak than the Ceccarello-style multiplicative one, and
+  // strictly smaller when z is large.
+  PlantedConfig cfg;
+  cfg.n = 4000;
+  cfg.k = 2;
+  cfg.z = 40;
+  cfg.dim = 1;
+  cfg.seed = 73;
+  const auto inst = make_planted(cfg);
+  const auto order = shuffled_order(inst.points.size(), 15);
+  const auto ours = feed(inst, order, 2, 40, 1.0, 1, ThresholdPolicy::Ours);
+  const auto base =
+      feed(inst, order, 2, 40, 1.0, 1, ThresholdPolicy::Ceccarello);
+  EXPECT_LT(ours.threshold(), base.threshold());
+  EXPECT_LE(ours.peak_size(), base.peak_size());
+}
+
+class StreamSweep : public ::testing::TestWithParam<testing::SweepParam> {};
+
+TEST_P(StreamSweep, InvariantsAcrossParameters) {
+  const auto p = GetParam();
+  if (p.dim > 1 && p.eps < 0.5) GTEST_SKIP() << "threshold too large to hit";
+  PlantedConfig cfg;
+  cfg.n = 600 + static_cast<std::size_t>(p.k) *
+                    (static_cast<std::size_t>(p.z) + 6);
+  cfg.k = p.k;
+  cfg.z = p.z;
+  cfg.dim = p.dim;
+  cfg.seed = p.seed;
+  const auto inst = make_planted(cfg);
+  const auto order = shuffled_order(inst.points.size(), p.seed);
+  InsertionOnlyStream s(p.k, p.z, p.eps, p.dim, kL2);
+  for (auto idx : order) {
+    s.insert(inst.points[idx].p);
+    ASSERT_LT(s.coreset().size(), s.threshold());
+  }
+  EXPECT_LE(s.r(), inst.opt_hi + 1e-9);
+  EXPECT_EQ(total_weight(s.coreset()),
+            static_cast<std::int64_t>(inst.points.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, StreamSweep,
+                         ::testing::ValuesIn(testing::default_sweep()),
+                         [](const auto& info) { return info.param.name(); });
+
+}  // namespace
+}  // namespace kc::stream

@@ -1,0 +1,34 @@
+// Shared helpers for the test suite: small deterministic instances and
+// parameter grids used by the property-style TEST_P sweeps.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "workload/generators.hpp"
+
+namespace kc::testing {
+
+/// Small planted instance intended for exact cross-checks.
+[[nodiscard]] PlantedInstance tiny_planted(int k, std::int64_t z, int dim,
+                                           std::uint64_t seed);
+
+/// Parameter grid for property sweeps: (k, z, eps, dim, seed).
+struct SweepParam {
+  int k;
+  std::int64_t z;
+  double eps;
+  int dim;
+  std::uint64_t seed;
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// Canonical sweep used across modules (kept modest so the full suite runs
+/// in seconds).
+[[nodiscard]] std::vector<SweepParam> default_sweep();
+
+}  // namespace kc::testing

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/cost.hpp"
+#include "workload/generators.hpp"
+#include "workload/streams.hpp"
+
+namespace kc {
+namespace {
+
+const Metric kL2{Norm::L2};
+
+TEST(Planted, SizesAndWeights) {
+  PlantedConfig cfg;
+  cfg.n = 500;
+  cfg.k = 4;
+  cfg.z = 10;
+  cfg.seed = 1;
+  const PlantedInstance inst = make_planted(cfg);
+  EXPECT_EQ(inst.points.size(), 500u);
+  EXPECT_EQ(inst.outlier_indices.size(), 10u);
+  EXPECT_EQ(total_weight(inst.points), 500);
+  EXPECT_EQ(inst.planted_centers.size(), 4u);
+}
+
+TEST(Planted, BracketIsConsistent) {
+  for (std::uint64_t seed : {1ULL, 5ULL, 9ULL}) {
+    PlantedConfig cfg;
+    cfg.n = 400;
+    cfg.k = 3;
+    cfg.z = 8;
+    cfg.seed = seed;
+    const PlantedInstance inst = make_planted(cfg);
+    EXPECT_GT(inst.opt_lo, 0.0);
+    EXPECT_LE(inst.opt_lo, inst.opt_hi + 1e-12);
+    EXPECT_LE(inst.opt_hi, cfg.cluster_radius + 1e-12);
+  }
+}
+
+TEST(Planted, PlantedCentersAchieveOptHi) {
+  PlantedConfig cfg;
+  cfg.n = 300;
+  cfg.k = 3;
+  cfg.z = 6;
+  cfg.seed = 3;
+  const PlantedInstance inst = make_planted(cfg);
+  const double r =
+      radius_with_outliers(inst.points, inst.planted_centers, cfg.z, kL2);
+  EXPECT_LE(r, inst.opt_hi + 1e-9);
+}
+
+TEST(Planted, OutliersAreFar) {
+  PlantedConfig cfg;
+  cfg.n = 300;
+  cfg.k = 2;
+  cfg.z = 5;
+  cfg.seed = 4;
+  const PlantedInstance inst = make_planted(cfg);
+  for (auto idx : inst.outlier_indices) {
+    double nearest_center = 1e300;
+    for (const auto& c : inst.planted_centers)
+      nearest_center = std::min(nearest_center,
+                                kL2.dist(inst.points[idx].p, c));
+    EXPECT_GE(nearest_center, cfg.separation * cfg.cluster_radius);
+  }
+}
+
+TEST(Planted, SkewConcentratesMass) {
+  PlantedConfig even, skewed;
+  even.n = skewed.n = 1000;
+  even.k = skewed.k = 4;
+  even.z = skewed.z = 4;
+  even.seed = skewed.seed = 8;
+  skewed.skew = 0.9;
+  const auto e = make_planted(even);
+  const auto s = make_planted(skewed);
+  // Count points near the first planted center.
+  auto near_first = [&](const PlantedInstance& inst) {
+    std::size_t c = 0;
+    for (const auto& wp : inst.points)
+      if (kL2.dist(wp.p, inst.planted_centers[0]) <= 1.5) ++c;
+    return c;
+  };
+  EXPECT_GT(near_first(s), near_first(e) + 100);
+}
+
+TEST(Planted, DeterministicForSeed) {
+  PlantedConfig cfg;
+  cfg.n = 200;
+  cfg.k = 2;
+  cfg.z = 3;
+  cfg.seed = 12;
+  const auto a = make_planted(cfg);
+  const auto b = make_planted(cfg);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i)
+    EXPECT_EQ(a.points[i].p, b.points[i].p);
+}
+
+TEST(Uniform, InBounds) {
+  const WeightedSet pts = make_uniform(200, 3, 10.0, 5);
+  EXPECT_EQ(pts.size(), 200u);
+  for (const auto& wp : pts)
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_GE(wp.p[i], 0.0);
+      EXPECT_LE(wp.p[i], 10.0);
+    }
+}
+
+TEST(Discretize, FitsUniverse) {
+  const WeightedSet pts = make_uniform(300, 2, 7.0, 6);
+  const auto grid = discretize(pts, 64);
+  ASSERT_EQ(grid.size(), pts.size());
+  for (const auto& g : grid)
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_GE(g.c[static_cast<std::size_t>(i)], 0);
+      EXPECT_LT(g.c[static_cast<std::size_t>(i)], 64);
+    }
+}
+
+TEST(Discretize, PreservesRelativeGeometry) {
+  WeightedSet pts;
+  pts.push_back({Point{0.0, 0.0}, 1});
+  pts.push_back({Point{100.0, 0.0}, 1});
+  pts.push_back({Point{1.0, 0.0}, 1});
+  const auto grid = discretize(pts, 128);
+  // Far pair maps far, near pair maps near.
+  EXPECT_GT(std::abs(grid[1].c[0] - grid[0].c[0]), 100);
+  EXPECT_LE(std::abs(grid[2].c[0] - grid[0].c[0]), 2);
+}
+
+TEST(DynamicScript, TurnstileValidAndFinalSetCorrect) {
+  // Build final set, run the script, confirm multiset equality and strict
+  // turnstile validity (no negative counts at any prefix).
+  const WeightedSet pts = make_uniform(120, 2, 50.0, 7);
+  const auto final_set = discretize(pts, 64);
+  const DynamicScript script =
+      make_dynamic_script(final_set, /*chaff=*/80, 64, 2, 11);
+
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> alive;
+  for (const auto& up : script) {
+    auto key = std::make_pair(up.p.c[0], up.p.c[1]);
+    alive[key] += up.sign;
+    ASSERT_GE(alive[key], 0) << "turnstile violated";
+  }
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> expect;
+  for (const auto& g : final_set) ++expect[std::make_pair(g.c[0], g.c[1])];
+  for (auto& [key, cnt] : alive)
+    if (cnt == 0) continue;
+  // Remove zero entries for comparison.
+  std::erase_if(alive, [](const auto& kv) { return kv.second == 0; });
+  EXPECT_EQ(alive, expect);
+  EXPECT_EQ(script.size(), final_set.size() + 2u * 80u);
+}
+
+TEST(ShuffledOrder, IsPermutation) {
+  const auto ord = shuffled_order(100, 13);
+  std::set<std::size_t> s(ord.begin(), ord.end());
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 99u);
+}
+
+TEST(AdversarialOrder, OutliersFirst) {
+  PlantedConfig cfg;
+  cfg.n = 150;
+  cfg.k = 2;
+  cfg.z = 6;
+  cfg.seed = 21;
+  const auto inst = make_planted(cfg);
+  const auto order =
+      adversarial_order(strip_weights(inst.points), inst.outlier_indices);
+  ASSERT_EQ(order.size(), inst.points.size());
+  std::set<std::size_t> outliers(inst.outlier_indices.begin(),
+                                 inst.outlier_indices.end());
+  for (std::size_t i = 0; i < outliers.size(); ++i)
+    EXPECT_TRUE(outliers.count(order[i])) << "position " << i;
+}
+
+}  // namespace
+}  // namespace kc
