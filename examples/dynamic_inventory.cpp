@@ -12,11 +12,7 @@
 #include <cstdio>
 #include <deque>
 
-#include "dynamic/dynamic_kcenter.hpp"
-#include "util/flags.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
+#include "kcenter.hpp"
 
 int main(int argc, char** argv) {
   using namespace kc;

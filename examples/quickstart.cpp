@@ -8,13 +8,7 @@
 
 #include <cstdio>
 
-#include "core/cost.hpp"
-#include "core/mbc.hpp"
-#include "core/solver.hpp"
-#include "util/flags.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
-#include "workload/generators.hpp"
+#include "kcenter.hpp"
 
 int main(int argc, char** argv) {
   using namespace kc;

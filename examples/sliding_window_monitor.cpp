@@ -9,12 +9,7 @@
 
 #include <cstdio>
 
-#include "core/cost.hpp"
-#include "core/solver.hpp"
-#include "stream/sliding_window.hpp"
-#include "util/flags.hpp"
-#include "util/rng.hpp"
-#include "util/table.hpp"
+#include "kcenter.hpp"
 
 int main(int argc, char** argv) {
   using namespace kc;

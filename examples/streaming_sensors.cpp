@@ -9,14 +9,7 @@
 
 #include <cstdio>
 
-#include "core/cost.hpp"
-#include "core/solver.hpp"
-#include "stream/insertion_only.hpp"
-#include "util/flags.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
-#include "workload/generators.hpp"
-#include "workload/streams.hpp"
+#include "kcenter.hpp"
 
 int main(int argc, char** argv) {
   using namespace kc;

@@ -1,0 +1,87 @@
+// Umbrella header for the kcenter library.
+//
+// Re-exports every public module header behind the kc:: namespace so that
+// downstream code (examples, experiment harnesses, external users) can
+// depend on the library with a single include:
+//
+//   #include "kcenter.hpp"
+//
+// The modules mirror the paper's structure — de Berg, Biabani &
+// Monemizadeh, "k-Center Clustering with Outliers in the MPC and Streaming
+// Model" (IPDPS 2023):
+//
+//   core        (ε,k,z)-coreset machinery, mini-ball covers, offline
+//               solvers (Gonzalez, Charikar, brute force), cost/verify
+//   geometry    points, metric spaces, bounding boxes, grids
+//   dynamic     fully dynamic coreset + k-center maintenance
+//   lowerbound  insertion-only / sliding-window / dynamic lower bounds
+//   mpc         MPC simulator and the one-/two-/multi-round algorithms
+//   sketch      F0 estimation and sparse recovery used by lower bounds
+//   stream      insertion-only and sliding-window streaming algorithms
+//   util        contracts, CSV, flags, RNG, stats, tables, timers
+//   workload    planted-instance generators and stream drivers
+
+#pragma once
+
+// util — foundational helpers used by every other module.
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+// geometry — points, metrics, and spatial decomposition.
+#include "geometry/box.hpp"
+#include "geometry/grid.hpp"
+#include "geometry/metric.hpp"
+#include "geometry/point.hpp"
+
+// core — problem types, coresets, and offline solvers.
+#include "core/brute_force.hpp"
+#include "core/charikar.hpp"
+#include "core/coreset.hpp"
+#include "core/cost.hpp"
+#include "core/gonzalez.hpp"
+#include "core/mbc.hpp"
+#include "core/radius_oracle.hpp"
+#include "core/solver.hpp"
+#include "core/types.hpp"
+#include "core/verify.hpp"
+
+// sketch — linear sketches backing the communication lower bounds.
+#include "sketch/f0_estimator.hpp"
+#include "sketch/field.hpp"
+#include "sketch/hashing.hpp"
+#include "sketch/one_sparse.hpp"
+#include "sketch/power_sum.hpp"
+#include "sketch/sparse_recovery.hpp"
+
+// mpc — massively parallel computation simulator and algorithms.
+#include "mpc/ceccarello.hpp"
+#include "mpc/guha.hpp"
+#include "mpc/multi_round.hpp"
+#include "mpc/one_round.hpp"
+#include "mpc/partition.hpp"
+#include "mpc/simulator.hpp"
+#include "mpc/two_round.hpp"
+
+// stream — insertion-only and sliding-window algorithms.
+#include "stream/insertion_only.hpp"
+#include "stream/mccutchen_khuller.hpp"
+#include "stream/sliding_window.hpp"
+
+// dynamic — fully dynamic maintenance under insertions and deletions.
+#include "dynamic/dynamic_coreset.hpp"
+#include "dynamic/dynamic_kcenter.hpp"
+#include "dynamic/naive_store.hpp"
+
+// lowerbound — hard-instance constructions matching the paper's bounds.
+#include "lowerbound/dynamic_lb.hpp"
+#include "lowerbound/insertion_lb.hpp"
+#include "lowerbound/sliding_lb.hpp"
+
+// workload — reproducible instance generators and stream drivers.
+#include "workload/generators.hpp"
+#include "workload/streams.hpp"
