@@ -10,6 +10,11 @@
 // Part 3 is the ABL-ORACLE ablation: Charikar-ladder oracle vs the
 // Gonzalez summary oracle vs the oracle-free Gonzalez-packing construction
 // (size / covering radius / oracle factor / time).
+//
+// Part 4 is the HOTPATH timing: the radius oracle, the covering pass, and
+// the full construction at n=50k (8k under --quick), recorded to the JSON
+// bench log (--json <path>) so the perf trajectory has committed points —
+// see BENCH_hotpaths.json at the repo root.
 
 #include <algorithm>
 #include <cstdio>
@@ -27,9 +32,11 @@ int main(int argc, char** argv) {
   const bool quick = flags.has("quick");
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const Metric metric{Norm::L2};
+  const JsonLog json = JsonLog::from_flags(flags);
 
   banner("FIG1/ABL-ORACLE", "mini-ball coverings: the Figure-1 example, "
-                            "Lemma-7 scaling, and the oracle ablation", seed);
+                            "Lemma-7 scaling, the oracle ablation, and the "
+                            "hot-path timings", seed);
 
   // ---- Part 1: the Figure-1 example ---------------------------------------
   {
@@ -77,6 +84,7 @@ int main(int argc, char** argv) {
       Timer timer;
       const MiniBallCovering mbc =
           mbc_construct(inst.points, 3, 16, 0.5, metric);
+      const double ms = timer.millis();
       t.add_row({fmt_count(static_cast<long long>(n)), "3", "16", "0.5",
                  fmt_count(static_cast<long long>(mbc.reps.size())),
                  fmt_count(static_cast<long long>(
@@ -84,7 +92,15 @@ int main(int argc, char** argv) {
                  fmt(max_assignment_dist(inst.points, mbc, metric) /
                          (0.5 * inst.opt_hi),
                      3),
-                 fmt(timer.millis(), 1)});
+                 fmt(ms, 1)});
+      json.record("lemma7_scaling",
+                  {{"n", static_cast<long long>(n)},
+                   {"k", 3},
+                   {"z", 16},
+                   {"d", 2},
+                   {"eps", 0.5},
+                   {"size", static_cast<long long>(mbc.reps.size())},
+                   {"wall_ms", ms}});
     }
     for (const double eps : {1.0, 0.5, 0.25}) {
       const auto inst = standard_instance(8000, 3, 16, seed + 2);
@@ -121,8 +137,9 @@ int main(int argc, char** argv) {
 
   // ---- Part 3: oracle ablation ---------------------------------------------
   {
-    // n pinned at 4000: the pure Charikar path is O(ladder·k·n²) and this
-    // comparison is about constants, not scale.
+    // n pinned at 4000: this comparison is about constants, not scale
+    // (the Part-4 hot-path timing is where the Charikar path is pushed to
+    // n=50k on top of the grid-accelerated greedy).
     std::printf("\n[ABL-ORACLE] radius-oracle choice on n=%d:\n", 4000);
     const auto inst = standard_instance(4000, 3, 24, seed + 4);
     Table t({"construction", "size", "r/opt_hi", "stated rho",
@@ -134,13 +151,20 @@ int main(int argc, char** argv) {
       Timer timer;
       const MiniBallCovering mbc =
           mbc_construct(inst.points, 3, 24, eps, metric, o);
+      const double ms = timer.millis();
       t.add_row({"charikar-ladder",
                  fmt_count(static_cast<long long>(mbc.reps.size())),
                  fmt(mbc.oracle_radius / inst.opt_hi, 2), fmt(mbc.rho, 2),
                  fmt(max_assignment_dist(inst.points, mbc, metric) /
                          (eps * inst.opt_hi),
                      3),
-                 fmt(timer.millis(), 1)});
+                 fmt(ms, 1)});
+      json.record("abl_oracle", {{"construction", "charikar-ladder"},
+                                 {"n", 4000},
+                                 {"k", 3},
+                                 {"z", 24},
+                                 {"d", 2},
+                                 {"wall_ms", ms}});
     }
     {
       OracleOptions o;
@@ -148,30 +172,104 @@ int main(int argc, char** argv) {
       Timer timer;
       const MiniBallCovering mbc =
           mbc_construct(inst.points, 3, 24, eps, metric, o);
+      const double ms = timer.millis();
       t.add_row({"gonzalez-summary",
                  fmt_count(static_cast<long long>(mbc.reps.size())),
                  fmt(mbc.oracle_radius / inst.opt_hi, 2), fmt(mbc.rho, 2),
                  fmt(max_assignment_dist(inst.points, mbc, metric) /
                          (eps * inst.opt_hi),
                      3),
-                 fmt(timer.millis(), 1)});
+                 fmt(ms, 1)});
+      json.record("abl_oracle", {{"construction", "gonzalez-summary"},
+                                 {"n", 4000},
+                                 {"k", 3},
+                                 {"z", 24},
+                                 {"d", 2},
+                                 {"wall_ms", ms}});
     }
     {
       Timer timer;
       const MiniBallCovering mbc =
           mbc_via_gonzalez(inst.points, 3, 24, eps, metric);
+      const double ms = timer.millis();
       t.add_row({"gonzalez-packing (oracle-free)",
                  fmt_count(static_cast<long long>(mbc.reps.size())), "-",
                  "1 (packing)",
                  fmt(max_assignment_dist(inst.points, mbc, metric) /
                          (eps * inst.opt_hi),
                      3),
-                 fmt(timer.millis(), 1)});
+                 fmt(ms, 1)});
+      json.record("abl_oracle", {{"construction", "gonzalez-packing"},
+                                 {"n", 4000},
+                                 {"k", 3},
+                                 {"z", 24},
+                                 {"d", 2},
+                                 {"wall_ms", ms}});
     }
     t.print();
     shape_note("all three satisfy the covering budget; the Charikar path "
                "gives the tightest r, the packing path avoids the oracle "
                "entirely at a τ = k(4/eps)^d + z size");
+  }
+
+  // ---- Part 4: hot-path timings (the perf trajectory) ----------------------
+  {
+    const auto hot_n = static_cast<std::size_t>(
+        flags.get_int("hot-n", quick ? 8000 : 50000));
+    const int k = 3;
+    const std::int64_t z = 16;
+    const double eps = 0.5;
+    std::printf("\n[HOTPATH] radius oracle + covering pass at n=%zu "
+                "(Charikar oracle, d=2):\n", hot_n);
+    const auto inst = standard_instance(hot_n, k, z, seed + 5);
+    OracleOptions o;
+    o.kind = OracleKind::Charikar;
+
+    Timer t_oracle;
+    const RadiusEstimate est = estimate_radius(inst.points, k, z, metric, o);
+    const double oracle_ms = t_oracle.millis();
+
+    const double cover_r = eps * est.radius / est.rho;
+    Timer t_cover;
+    const MiniBallCovering cover =
+        mbc_with_radius(inst.points, cover_r, metric);
+    const double cover_ms = t_cover.millis();
+
+    Timer t_total;
+    const MiniBallCovering mbc =
+        mbc_construct(inst.points, k, z, eps, metric, o);
+    const double total_ms = t_total.millis();
+
+    Table t({"stage", "ms", "detail"});
+    t.add_row({"estimate_radius (charikar)", fmt(oracle_ms, 1),
+               "r=" + fmt(est.radius, 3) + " rho=" + fmt(est.rho, 2)});
+    t.add_row({"mbc_with_radius", fmt(cover_ms, 1),
+               "reps=" + fmt_count(static_cast<long long>(cover.reps.size()))});
+    t.add_row({"mbc_construct (end-to-end)", fmt(total_ms, 1),
+               "reps=" + fmt_count(static_cast<long long>(mbc.reps.size()))});
+    t.print();
+    const auto n_ll = static_cast<long long>(hot_n);
+    json.record("hotpath_radius_oracle", {{"n", n_ll},
+                                          {"k", k},
+                                          {"z", static_cast<long long>(z)},
+                                          {"d", 2},
+                                          {"oracle", "charikar"},
+                                          {"wall_ms", oracle_ms}});
+    json.record("hotpath_mbc_cover",
+                {{"n", n_ll},
+                 {"k", k},
+                 {"z", static_cast<long long>(z)},
+                 {"d", 2},
+                 {"radius", cover_r},
+                 {"reps", static_cast<long long>(cover.reps.size())},
+                 {"wall_ms", cover_ms}});
+    json.record("hotpath_mbc_construct", {{"n", n_ll},
+                                          {"k", k},
+                                          {"z", static_cast<long long>(z)},
+                                          {"d", 2},
+                                          {"oracle", "charikar"},
+                                          {"eps", eps},
+                                          {"wall_ms", total_ms}});
   }
   return 0;
 }

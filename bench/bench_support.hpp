@@ -1,9 +1,11 @@
 // Shared helpers for the experiment harnesses: banner printing, the
-// "cloud + clusters" separating workload, and quality evaluation.
+// "cloud + clusters" separating workload, quality evaluation, and the JSON
+// bench log that records the repo's performance trajectory.
 
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 
 #include "core/solver.hpp"
@@ -41,5 +43,55 @@ void shape_note(const std::string& text);
 [[nodiscard]] double quality_ratio(const WeightedSet& full,
                                    const WeightedSet& coreset, int k,
                                    std::int64_t z, const Metric& metric);
+
+/// One typed field of a JSON bench record.
+class JsonField {
+ public:
+  JsonField(std::string key, long long v)
+      : key_(std::move(key)), kind_(Kind::Int), int_(v) {}
+  JsonField(std::string key, int v) : JsonField(std::move(key),
+                                               static_cast<long long>(v)) {}
+  JsonField(std::string key, double v)
+      : key_(std::move(key)), kind_(Kind::Double), double_(v) {}
+  JsonField(std::string key, std::string v)
+      : key_(std::move(key)), kind_(Kind::Str), str_(std::move(v)) {}
+  JsonField(std::string key, const char* v)
+      : JsonField(std::move(key), std::string(v)) {}
+
+  /// Serializes as `"key": value`.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  enum class Kind { Int, Double, Str };
+  std::string key_;
+  Kind kind_;
+  long long int_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+};
+
+/// Append-only JSON-lines bench log (one `{...}` record per line), enabled
+/// by the harness-wide `--json <path>` flag.  Every record carries the
+/// experiment id plus the caller's fields, and an optional `tag` (from
+/// `--json-tag`, e.g. a commit id) so trajectories across PRs can be told
+/// apart in one file.  Disabled (no file touched) when the flag is absent.
+class JsonLog {
+ public:
+  JsonLog() = default;  ///< disabled
+
+  /// Reads `--json <path>` and `--json-tag <tag>`.
+  [[nodiscard]] static JsonLog from_flags(const Flags& flags);
+
+  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+
+  /// Appends one record: `{"experiment": ..., <fields>..., "tag": ...}`.
+  /// No-op when disabled.
+  void record(const std::string& experiment,
+              std::initializer_list<JsonField> fields) const;
+
+ private:
+  std::string path_;
+  std::string tag_;
+};
 
 }  // namespace kc::bench

@@ -4,12 +4,103 @@
 #include <cmath>
 #include <vector>
 
+#include "geometry/grid_index.hpp"
+#include "geometry/kernels.hpp"
 #include "util/check.hpp"
 
 namespace kc {
 
-CharikarRun charikar_run(const WeightedSet& pts, int k, std::int64_t z,
-                         double r, const Metric& metric) {
+namespace {
+
+// Below this size the grid build costs more than it prunes.
+constexpr std::size_t kGridMinPoints = 32;
+
+// Grid-accelerated greedy pass.  Invariant maintained across rounds:
+//   cand[i] = total weight of the *uncovered* points within distance r of
+//             point i  (exactly the wsum the reference recomputes per
+//             round — weights are integers, so the incremental updates
+//             are exact).
+// Each pair (i, j) with dist(i, j) <= r is touched at most twice (once in
+// the initial count, once when j is covered), so the total work is
+// O(Σ|ball_r|) plus O(k·n) for the argmax scans — instead of the
+// reference's O(k·n²).
+template <Norm N>
+CharikarRun charikar_run_grid(const WeightedSet& pts, int k, std::int64_t z,
+                              double r) {
+  CharikarRun out;
+  const std::size_t n = pts.size();
+  const int dim = pts.front().p.dim();
+  const kernels::PointBuffer buf(pts);
+  std::vector<std::int64_t> w(n);
+  for (std::size_t i = 0; i < n; ++i) w[i] = pts[i].w;
+  std::vector<std::uint8_t> covered(n, 0);
+  std::int64_t uncovered_w = 0;
+  for (const std::int64_t wi : w) uncovered_w += wi;
+
+  const double r_key = kernels::dist_to_key(N, r);
+  const double r3 = 3.0 * r;
+  const double r3_key = kernels::dist_to_key(N, r3);
+
+  GridIndex grid(r, dim);
+  grid.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    grid.insert(pts[i].p, static_cast<std::uint32_t>(i));
+  const int reach3 = grid.reach_for(r3);
+
+  // Initial candidate ball weights (nothing covered yet).
+  std::vector<std::int64_t> cand(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* q = pts[i].p.coords().data();
+    std::int64_t sum = 0;
+    grid.for_each_candidate(q, 1, [&](std::span<const std::uint32_t> cell) {
+      sum += kernels::count_within<N>(buf, cell.data(), cell.size(), q, r_key,
+                                      w.data(), nullptr);
+    });
+    cand[i] = sum;
+  }
+
+  for (int t = 0; t < k && uncovered_w > z; ++t) {
+    // argmax over cand, first max wins — identical tie-breaking to the
+    // reference's per-round rescan.
+    std::int64_t best_w = -1;
+    std::size_t best_i = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cand[i] > best_w) {
+        best_w = cand[i];
+        best_i = i;
+      }
+    }
+    out.centers.push_back(pts[best_i].p);
+    // Remove everything inside the expanded ball b(best_i, 3r), paying the
+    // candidate-weight decrements for each newly covered point as we go.
+    const double* qc = pts[best_i].p.coords().data();
+    std::int64_t removed = 0;
+    grid.for_each_candidate(qc, reach3, [&](std::span<const std::uint32_t>
+                                                cell) {
+      removed += kernels::mark_within<N>(
+          buf, cell.data(), cell.size(), qc, r3_key, w.data(), covered.data(),
+          [&](std::uint32_t j) {
+            const double* qj = pts[j].p.coords().data();
+            const std::int64_t wj = w[j];
+            grid.for_each_candidate(
+                qj, 1, [&](std::span<const std::uint32_t> inner) {
+                  for (const std::uint32_t i : inner) {
+                    if (buf.key_to<N>(i, qj) <= r_key) cand[i] -= wj;
+                  }
+                });
+          });
+    });
+    uncovered_w -= removed;
+  }
+  out.uncovered = uncovered_w;
+  out.success = uncovered_w <= z;
+  return out;
+}
+
+}  // namespace
+
+CharikarRun charikar_run_scalar(const WeightedSet& pts, int k, std::int64_t z,
+                                double r, const Metric& metric) {
   KC_EXPECTS(k >= 1);
   CharikarRun out;
   const std::size_t n = pts.size();
@@ -18,9 +109,9 @@ CharikarRun charikar_run(const WeightedSet& pts, int k, std::int64_t z,
   for (const auto& wp : pts) uncovered_w += wp.w;
 
   // dist_key thresholds: compare squared distances under L2.
-  const double r_key = (metric.norm() == Norm::L2) ? r * r : r;
+  const double r_key = metric.dist_to_key(r);
   const double r3 = 3.0 * r;
-  const double r3_key = (metric.norm() == Norm::L2) ? r3 * r3 : r3;
+  const double r3_key = metric.dist_to_key(r3);
 
   for (int t = 0; t < k && uncovered_w > z; ++t) {
     // Pick the point whose r-ball covers the most uncovered weight.
@@ -50,6 +141,21 @@ CharikarRun charikar_run(const WeightedSet& pts, int k, std::int64_t z,
   out.uncovered = uncovered_w;
   out.success = uncovered_w <= z;
   return out;
+}
+
+CharikarRun charikar_run(const WeightedSet& pts, int k, std::int64_t z,
+                         double r, const Metric& metric) {
+  KC_EXPECTS(k >= 1);
+  if (metric.norm() == Norm::Custom || r <= 0.0 ||
+      pts.size() < kGridMinPoints)
+    return charikar_run_scalar(pts, k, z, r, metric);
+  switch (metric.norm()) {
+    case Norm::L2: return charikar_run_grid<Norm::L2>(pts, k, z, r);
+    case Norm::Linf: return charikar_run_grid<Norm::Linf>(pts, k, z, r);
+    case Norm::L1: return charikar_run_grid<Norm::L1>(pts, k, z, r);
+    case Norm::Custom: break;  // handled above
+  }
+  return charikar_run_scalar(pts, k, z, r, metric);  // unreachable
 }
 
 CharikarResult charikar_oracle(const WeightedSet& pts, int k, std::int64_t z,

@@ -39,10 +39,23 @@ struct CharikarRun {
   bool success = false;   ///< uncovered ≤ z
 };
 
-/// One greedy pass with a fixed radius guess.  O(k · n²) worst case.
+/// One greedy pass with a fixed radius guess.  Built-in norms run the
+/// grid-accelerated pass: candidate ball weights are computed once from
+/// grid-bucketed neighborhoods and maintained *incrementally* as points are
+/// covered, so the per-round cost is O(n) plus the (one-time) total size of
+/// the r-balls touched, instead of the O(n²) rescan per round of the
+/// reference below.  Results are bit-identical to the reference (pinned by
+/// tests/test_kernels.cpp).
 [[nodiscard]] CharikarRun charikar_run(const WeightedSet& pts, int k,
                                        std::int64_t z, double r,
                                        const Metric& metric);
+
+/// Reference implementation of `charikar_run`: the plain O(k · n²) rescan.
+/// Fallback for custom metrics and degenerate radii, and the ground truth
+/// for the grid-path equivalence tests.
+[[nodiscard]] CharikarRun charikar_run_scalar(const WeightedSet& pts, int k,
+                                              std::int64_t z, double r,
+                                              const Metric& metric);
 
 struct CharikarResult {
   double radius = 0.0;   ///< r_out = 3·r₀ (two-sided opt estimate, see above)

@@ -2,47 +2,87 @@
 
 #include <limits>
 
+#include "geometry/kernels.hpp"
 #include "util/check.hpp"
 
 namespace kc {
 
-GonzalezResult gonzalez(const WeightedSet& pts, int max_centers,
-                        const Metric& metric, double stop_radius) {
-  KC_EXPECTS(max_centers >= 1);
+namespace {
+
+// Shared selection loop: `relax(center_coords, label)` relaxes every
+// point's nearest-center key against the new center and returns the
+// farthest point under the relaxed keys (first max wins).
+template <typename Relax>
+GonzalezResult run_traversal(const WeightedSet& pts, int max_centers,
+                             const Metric& metric, double stop_radius,
+                             Relax&& relax) {
   GonzalezResult res;
   const std::size_t n = pts.size();
-  if (n == 0) return res;
-
-  // dist_key[i] = distance key from point i to the nearest selected center.
-  std::vector<double> key(n, std::numeric_limits<double>::infinity());
   res.assignment.assign(n, 0);
-
   std::size_t next = 0;  // first center: index 0 (deterministic)
   for (int t = 0; t < max_centers && static_cast<std::size_t>(t) < n; ++t) {
     res.center_indices.push_back(next);
-    const Point& c = pts[next].p;
-    // Relax all distances against the new center, tracking the farthest
-    // point for the next iteration.
-    double far_key = -1.0;
-    std::size_t far_idx = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double k2 = metric.dist_key(pts[i].p, c);
-      if (k2 < key[i]) {
-        key[i] = k2;
-        res.assignment[i] = static_cast<std::uint32_t>(t);
-      }
-      if (key[i] > far_key) {
-        far_key = key[i];
-        far_idx = i;
-      }
-    }
-    const double radius = metric.key_to_dist(far_key);
+    const kernels::RelaxResult rr =
+        relax(pts[next].p, static_cast<std::uint32_t>(t), res.assignment);
+    const double radius = metric.key_to_dist(rr.far_key);
     res.delta.push_back(radius);
-    next = far_idx;
+    next = rr.far_idx;
     if (stop_radius > 0.0 && radius <= stop_radius) break;
     if (radius == 0.0) break;  // all points coincide with selected centers
   }
   return res;
+}
+
+}  // namespace
+
+GonzalezResult gonzalez(const WeightedSet& pts, int max_centers,
+                        const Metric& metric, double stop_radius) {
+  KC_EXPECTS(max_centers >= 1);
+  if (pts.empty()) return {};
+  const std::size_t n = pts.size();
+  std::vector<double> key(n, std::numeric_limits<double>::infinity());
+
+  if (metric.norm() == Norm::Custom) {
+    // Scalar fallback: a user-supplied distance cannot go through the
+    // inline kernels.
+    return run_traversal(
+        pts, max_centers, metric, stop_radius,
+        [&](const Point& c, std::uint32_t label,
+            std::vector<std::uint32_t>& assign) {
+          kernels::RelaxResult rr;
+          for (std::size_t i = 0; i < n; ++i) {
+            const double k2 = metric.dist_key(pts[i].p, c);
+            if (k2 < key[i]) {
+              key[i] = k2;
+              assign[i] = label;
+            }
+            if (key[i] > rr.far_key) {
+              rr.far_key = key[i];
+              rr.far_idx = i;
+            }
+          }
+          return rr;
+        });
+  }
+
+  const kernels::PointBuffer buf(pts);
+  std::vector<double> scratch(n);
+  auto kernel_run = [&]<Norm N>() {
+    return run_traversal(pts, max_centers, metric, stop_radius,
+                         [&](const Point& c, std::uint32_t label,
+                             std::vector<std::uint32_t>& assign) {
+                           return kernels::relax_min_keys<N>(
+                               buf, c.coords().data(), label, key.data(),
+                               assign.data(), scratch.data());
+                         });
+  };
+  switch (metric.norm()) {
+    case Norm::L2: return kernel_run.template operator()<Norm::L2>();
+    case Norm::Linf: return kernel_run.template operator()<Norm::Linf>();
+    case Norm::L1: return kernel_run.template operator()<Norm::L1>();
+    case Norm::Custom: break;  // handled above
+  }
+  return {};  // unreachable
 }
 
 WeightedSet gonzalez_summary(const WeightedSet& pts, const GonzalezResult& g) {

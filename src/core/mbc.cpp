@@ -1,20 +1,118 @@
 #include "core/mbc.hpp"
 
 #include <cmath>
+#include <limits>
+#include <optional>
 
 #include "core/gonzalez.hpp"
+#include "geometry/grid_index.hpp"
+#include "geometry/kernels.hpp"
 #include "util/check.hpp"
 
 namespace kc {
 
-MiniBallCovering mbc_with_radius(const WeightedSet& pts, double radius,
-                                 const Metric& metric) {
+namespace {
+
+// Below this input size the grid build costs more than it prunes.
+constexpr std::size_t kGridMinPoints = 32;
+
+// Rep count at which the covering pass switches from the early-exit linear
+// scan to grid probes.  The scan touches first-hit-position inline
+// distances per point (cheap, and small while reps are few); a grid probe
+// costs 3^d hash lookups regardless, so it only wins once the rep set is
+// large.  Switching mid-pass is output-invariant: both sides assign to the
+// lowest-index representative within the radius.
+constexpr std::size_t kGridSwitchReps = 256;
+
+// Covering pass with grid acceleration: representatives are indexed in a
+// hash grid with cell width = radius, so each point probes only the 3^d
+// neighboring cells instead of scanning every representative.  To match
+// the scalar reference exactly we assign to the *lowest-index*
+// representative within the radius (the scalar scan returns the first
+// hit in rep order, which is the same thing).  The grid is built lazily
+// once the rep set reaches `switch_reps`.
+template <Norm N>
+MiniBallCovering mbc_hybrid_impl(const WeightedSet& pts, double radius,
+                                 std::size_t switch_reps) {
+  MiniBallCovering out;
+  out.cover_radius = radius;
+  out.assignment.reserve(pts.size());
+  const double key = kernels::dist_to_key(N, radius);
+  const int dim = pts.front().p.dim();
+
+  std::optional<GridIndex> grid;
+  const auto ensure_grid = [&] {
+    if (grid || out.reps.size() < switch_reps) return;
+    grid.emplace(radius, dim);
+    for (std::size_t r = 0; r < out.reps.size(); ++r)
+      grid->insert(out.reps[r].p, static_cast<std::uint32_t>(r));
+  };
+  ensure_grid();
+
+  constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+  for (const auto& wp : pts) {
+    KC_EXPECTS(wp.w > 0);
+    const double* q = wp.p.coords().data();
+    std::uint32_t best = kNone;
+    if (grid) {
+      grid->for_each_candidate(q, 1,
+                               [&](std::span<const std::uint32_t> cell) {
+                                 for (const std::uint32_t r : cell) {
+                                   if (r < best &&
+                                       kernels::raw_key<N>(
+                                           q, out.reps[r].p.coords().data(),
+                                           dim) <= key)
+                                     best = r;
+                                 }
+                               });
+    } else {
+      for (std::size_t r = 0; r < out.reps.size(); ++r) {
+        if (kernels::raw_key<N>(q, out.reps[r].p.coords().data(), dim) <=
+            key) {
+          best = static_cast<std::uint32_t>(r);
+          break;
+        }
+      }
+    }
+    if (best != kNone) {
+      out.reps[best].w += wp.w;
+      out.assignment.push_back(best);
+    } else {
+      const auto id = static_cast<std::uint32_t>(out.reps.size());
+      out.assignment.push_back(id);
+      out.reps.push_back(wp);
+      if (grid)
+        grid->insert(q, id);
+      else
+        ensure_grid();
+    }
+  }
+  return out;
+}
+
+MiniBallCovering mbc_by_norm(const WeightedSet& pts, double radius,
+                             const Metric& metric, std::size_t switch_reps) {
+  switch (metric.norm()) {
+    case Norm::L2:
+      return mbc_hybrid_impl<Norm::L2>(pts, radius, switch_reps);
+    case Norm::Linf:
+      return mbc_hybrid_impl<Norm::Linf>(pts, radius, switch_reps);
+    case Norm::L1:
+      return mbc_hybrid_impl<Norm::L1>(pts, radius, switch_reps);
+    case Norm::Custom: break;  // callers exclude Custom
+  }
+  return mbc_with_radius_scalar(pts, radius, metric);  // unreachable
+}
+
+}  // namespace
+
+MiniBallCovering mbc_with_radius_scalar(const WeightedSet& pts, double radius,
+                                        const Metric& metric) {
   KC_EXPECTS(radius >= 0.0);
   MiniBallCovering out;
   out.cover_radius = radius;
   out.assignment.reserve(pts.size());
-  const double key =
-      (metric.norm() == Norm::L2) ? radius * radius : radius;
+  const double key = metric.dist_to_key(radius);
 
   for (const auto& wp : pts) {
     KC_EXPECTS(wp.w > 0);
@@ -33,6 +131,27 @@ MiniBallCovering mbc_with_radius(const WeightedSet& pts, double radius,
     }
   }
   return out;
+}
+
+MiniBallCovering mbc_with_radius(const WeightedSet& pts, double radius,
+                                 const Metric& metric) {
+  KC_EXPECTS(radius >= 0.0);
+  if (metric.norm() == Norm::Custom || radius <= 0.0 ||
+      pts.size() < kGridMinPoints)
+    return mbc_with_radius_scalar(pts, radius, metric);
+  return mbc_by_norm(pts, radius, metric, kGridSwitchReps);
+}
+
+MiniBallCovering mbc_with_radius_grid(const WeightedSet& pts, double radius,
+                                      const Metric& metric) {
+  KC_EXPECTS(radius > 0.0);
+  KC_EXPECTS(metric.norm() != Norm::Custom);
+  if (pts.empty()) {
+    MiniBallCovering out;
+    out.cover_radius = radius;
+    return out;
+  }
+  return mbc_by_norm(pts, radius, metric, /*switch_reps=*/0);
 }
 
 MiniBallCovering mbc_construct(const WeightedSet& pts, int k, std::int64_t z,

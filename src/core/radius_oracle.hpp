@@ -13,8 +13,13 @@
 //                    (covering radius δ ≤ γ·opt by the packing bound),
 //                    Charikar on the summary, r = r_S + δ.  Factor
 //                    ρ = ρ_C(1+γ) + γ; cost O(n·(k(4/γ)^d+z)) instead of
-//                    O(ladder · k · n²).
+//                    the ladder of greedy passes over the full input.
 //  * Auto          — Summary when the input is large, Charikar otherwise.
+//
+// Both underlying passes (Gonzalez relaxation, Charikar greedy) run on the
+// performance layer — inline kernels + hash-grid neighborhoods, see
+// geometry/kernels.hpp and docs/ARCHITECTURE.md — so the Charikar oracle is
+// usable well beyond the sizes the original O(ladder·k·n²) rescan allowed.
 //
 // All guarantees are stated for positive-integer-weighted inputs, matching
 // the weighted problem of the paper.

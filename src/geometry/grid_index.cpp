@@ -1,0 +1,34 @@
+#include "geometry/grid_index.hpp"
+
+namespace kc {
+
+GridIndex::GridIndex(double cell_width, int dim)
+    : width_(cell_width), dim_(dim),
+      cells_(/*bucket_count=*/0, CellKeyHash{dim}) {
+  KC_EXPECTS(cell_width > 0.0);
+  KC_EXPECTS(dim >= 1 && dim <= Point::kMaxDim);
+}
+
+void GridIndex::reserve(std::size_t n) { cells_.reserve(n); }
+
+GridIndex::CellKey GridIndex::key_for(const double* coords) const noexcept {
+  // Clamp before the cast: floor(c/w) can exceed the int64 range for
+  // degenerate coordinate/width ratios, and the clamp (being monotone and
+  // contracting) preserves the neighbor-enumeration superset guarantee.
+  constexpr double kClamp = 2305843009213693952.0;  // 2^61
+  CellKey key;
+  for (int j = 0; j < dim_; ++j) {
+    double cell = std::floor(coords[j] / width_);
+    if (cell > kClamp) cell = kClamp;
+    if (cell < -kClamp) cell = -kClamp;
+    key.c[static_cast<std::size_t>(j)] = static_cast<std::int64_t>(cell);
+  }
+  return key;
+}
+
+void GridIndex::insert(const double* coords, std::uint32_t idx) {
+  cells_[key_for(coords)].push_back(idx);
+  ++count_;
+}
+
+}  // namespace kc

@@ -1,0 +1,135 @@
+// Hash-grid over points in R^d with cell width tied to a query radius.
+//
+// Not to be confused with geometry/grid.hpp (the paper's hierarchical grids
+// over the *discrete* universe [Δ]^d used by the dynamic sketches): this is
+// the performance layer's spatial index over arbitrary real coordinates.
+// Cells are axis-aligned hypercubes of side `cell_width`; a point lands in
+// the cell given by floor(coord / cell_width) per axis.  Because each
+// built-in norm dominates the per-coordinate difference (|a−b|_∞ ≤ ‖a−b‖
+// for L1, L2, and L∞), any point within norm-distance r of a query lies in
+// a cell whose per-axis index differs by at most ⌈r / cell_width⌉ from the
+// query's cell — so `for_each_candidate` enumerates the (2·reach+1)^d
+// neighboring cells and is guaranteed to yield a *superset* of the true
+// r-ball.  Callers always filter with an exact distance check, so the index
+// only prunes, never decides.
+//
+// Cells are keyed by their exact integer coordinates (no lossy packing):
+// hash collisions are resolved by the map, so distinct cells are never
+// merged and a neighbor enumeration visits each bucket exactly once — the
+// incremental-weight bookkeeping in core/charikar.cpp relies on that.
+// Extreme coordinate/width ratios are clamped to ±2^61 before the cast;
+// clamping is monotone and contracts index differences, so the superset
+// guarantee survives even degenerate inputs.
+//
+// Custom metrics get no grid (a user distance need not relate to
+// coordinates); the consumers keep their scalar fallbacks for that case.
+
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace kc {
+
+class GridIndex {
+ public:
+  /// cell_width must be > 0; dim in [1, Point::kMaxDim].
+  GridIndex(double cell_width, int dim);
+
+  [[nodiscard]] double cell_width() const noexcept { return width_; }
+  [[nodiscard]] int dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+  void reserve(std::size_t n);
+
+  /// Registers point `idx` at the given coordinates (length dim()).
+  void insert(const double* coords, std::uint32_t idx);
+  void insert(const Point& p, std::uint32_t idx) {
+    KC_DCHECK(p.dim() == dim_);
+    insert(p.coords().data(), idx);
+  }
+
+  /// Smallest cell reach whose neighborhood certainly contains every point
+  /// within norm-distance `radius` of a query: ⌈radius / cell_width⌉.
+  [[nodiscard]] int reach_for(double radius) const noexcept {
+    return static_cast<int>(std::ceil(radius / width_));
+  }
+
+  /// Invokes f(span<const uint32_t>) once per non-empty cell within
+  /// `reach` cells of q's cell along every axis.  The union of the spans is
+  /// a superset of every indexed point within cell_width·reach of q (under
+  /// L1, L2, and L∞), with no index repeated.
+  template <typename F>
+  void for_each_candidate(const double* q, int reach, F&& f) const {
+    CellKey key = key_for(q);
+    const CellKey base = key;
+    // Odometer over the (2·reach+1)^dim offset box.
+    std::array<int, Point::kMaxDim> off{};
+    for (int j = 0; j < dim_; ++j) {
+      off[static_cast<std::size_t>(j)] = -reach;
+      key.c[static_cast<std::size_t>(j)] =
+          base.c[static_cast<std::size_t>(j)] - reach;
+    }
+    for (;;) {
+      const auto it = cells_.find(key);
+      if (it != cells_.end())
+        f(std::span<const std::uint32_t>(it->second));
+      int j = 0;
+      for (; j < dim_; ++j) {
+        const auto sj = static_cast<std::size_t>(j);
+        if (off[sj] < reach) {
+          ++off[sj];
+          key.c[sj] = base.c[sj] + off[sj];
+          break;
+        }
+        off[sj] = -reach;
+        key.c[sj] = base.c[sj] - reach;
+      }
+      if (j == dim_) break;
+    }
+  }
+
+ private:
+  struct CellKey {
+    std::array<std::int64_t, Point::kMaxDim> c{};
+
+    friend bool operator==(const CellKey& a, const CellKey& b) noexcept {
+      return a.c == b.c;
+    }
+  };
+
+  // Stateful (dim-aware) hasher: only the first dim_ slots carry
+  // information (the rest stay zero), so mixing just those keeps the
+  // per-lookup cost proportional to the actual dimension.
+  struct CellKeyHash {
+    int dim = Point::kMaxDim;
+
+    std::size_t operator()(const CellKey& k) const noexcept {
+      std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+      for (int j = 0; j < dim; ++j) {
+        std::uint64_t x =
+            static_cast<std::uint64_t>(k.c[static_cast<std::size_t>(j)]) + h;
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        h = x;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  [[nodiscard]] CellKey key_for(const double* coords) const noexcept;
+
+  double width_;
+  int dim_;
+  std::size_t count_ = 0;
+  std::unordered_map<CellKey, std::vector<std::uint32_t>, CellKeyHash> cells_;
+};
+
+}  // namespace kc

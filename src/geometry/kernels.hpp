@@ -1,0 +1,268 @@
+// Inline distance kernels and flat point buffers — the performance layer.
+//
+// Every algorithm in the library bottoms out in one of three loops: a
+// point-to-point distance, a "relax all distances against one new center"
+// sweep (Gonzalez), or a "how much weight sits inside this ball" scan
+// (Charikar, mini-ball coverings).  This header provides those loops as
+// header-inline, norm-templated kernels over raw coordinate arrays so the
+// compiler can inline and vectorize them; `Metric` (geometry/metric.hpp)
+// dispatches its scalar calls here, and the hot paths in core/ call the
+// batch primitives directly.
+//
+// Floating-point contract: for each norm the kernels accumulate in the
+// exact same order as the historical scalar code (dimension-ascending), so
+// a kernel-computed distance key is bit-identical to `Metric::dist_key`.
+// The equivalence tests in tests/test_kernels.cpp pin this down; it is what
+// lets the grid-accelerated paths in core/ claim "no behavioral change".
+//
+// `Norm::Custom` is deliberately outside this layer: a user-supplied
+// distance function cannot be inlined or bucketed, so callers must keep a
+// scalar fallback (they all do).
+
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace kc {
+
+enum class Norm : std::uint8_t { L2, Linf, L1, Custom };
+
+namespace kernels {
+
+/// Monotone distance key between two coordinate arrays: squared distance
+/// under L2 (avoids the sqrt), the distance itself under L∞/L1.
+template <Norm N>
+[[nodiscard]] inline double raw_key(const double* a, const double* b,
+                                    int d) noexcept {
+  static_assert(N != Norm::Custom, "custom metrics have no inline kernel");
+  if constexpr (N == Norm::L2) {
+    double s = 0.0;
+    for (int i = 0; i < d; ++i) {
+      const double diff = a[i] - b[i];
+      s += diff * diff;
+    }
+    return s;
+  } else if constexpr (N == Norm::Linf) {
+    double m = 0.0;
+    for (int i = 0; i < d; ++i) {
+      const double diff = std::fabs(a[i] - b[i]);
+      if (diff > m) m = diff;
+    }
+    return m;
+  } else {
+    double s = 0.0;
+    for (int i = 0; i < d; ++i) s += std::fabs(a[i] - b[i]);
+    return s;
+  }
+}
+
+/// Runtime-norm dispatch to `raw_key` (for call sites that hold a `Norm`
+/// value rather than a template parameter, e.g. the inline Metric methods).
+[[nodiscard]] inline double dist_key(Norm n, const double* a, const double* b,
+                                     int d) noexcept {
+  switch (n) {
+    case Norm::L2: return raw_key<Norm::L2>(a, b, d);
+    case Norm::Linf: return raw_key<Norm::Linf>(a, b, d);
+    case Norm::L1: return raw_key<Norm::L1>(a, b, d);
+    case Norm::Custom: break;
+  }
+  KC_DCHECK(false);  // custom metrics never reach the kernel layer
+  return 0.0;
+}
+
+/// Actual distance (key with the L2 sqrt applied).
+[[nodiscard]] inline double dist(Norm n, const double* a, const double* b,
+                                 int d) noexcept {
+  const double key = dist_key(n, a, b, d);
+  return n == Norm::L2 ? std::sqrt(key) : key;
+}
+
+/// Converts a key back to a distance.
+[[nodiscard]] inline double key_to_dist(Norm n, double key) noexcept {
+  return n == Norm::L2 ? std::sqrt(key) : key;
+}
+
+/// Converts a distance threshold to a key threshold (`dist <= r` iff
+/// `key <= dist_to_key(n, r)` for r >= 0).
+[[nodiscard]] inline double dist_to_key(Norm n, double r) noexcept {
+  return n == Norm::L2 ? r * r : r;
+}
+
+/// Flat structure-of-arrays coordinate store: column j holds coordinate j
+/// of every point contiguously, so the batch kernels below stream through
+/// one cache-friendly array per dimension instead of hopping across Point
+/// objects.  Built once per algorithm invocation from the caller's
+/// WeightedSet/PointSet; read-only afterwards.
+class PointBuffer {
+ public:
+  PointBuffer() = default;
+
+  explicit PointBuffer(const WeightedSet& pts) {
+    build(pts.size(), pts.empty() ? 0 : pts.front().p.dim(),
+          [&](std::size_t i) -> const Point& { return pts[i].p; });
+  }
+
+  explicit PointBuffer(const PointSet& pts) {
+    build(pts.size(), pts.empty() ? 0 : pts.front().dim(),
+          [&](std::size_t i) -> const Point& { return pts[i]; });
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] int dim() const noexcept { return dim_; }
+
+  /// Column j (coordinate j of every point), length size().
+  [[nodiscard]] const double* col(int j) const noexcept {
+    KC_DCHECK(j >= 0 && j < dim_);
+    return cols_.data() + static_cast<std::size_t>(j) * n_;
+  }
+
+  /// Distance key of point i to query coordinates q, accumulated in the
+  /// same dimension order as `raw_key` (bit-identical results).
+  template <Norm N>
+  [[nodiscard]] double key_to(std::size_t i, const double* q) const noexcept {
+    KC_DCHECK(i < n_);
+    if constexpr (N == Norm::L2) {
+      double s = 0.0;
+      for (int j = 0; j < dim_; ++j) {
+        const double diff = col(j)[i] - q[j];
+        s += diff * diff;
+      }
+      return s;
+    } else if constexpr (N == Norm::Linf) {
+      double m = 0.0;
+      for (int j = 0; j < dim_; ++j) {
+        const double diff = std::fabs(col(j)[i] - q[j]);
+        if (diff > m) m = diff;
+      }
+      return m;
+    } else {
+      double s = 0.0;
+      for (int j = 0; j < dim_; ++j) s += std::fabs(col(j)[i] - q[j]);
+      return s;
+    }
+  }
+
+ private:
+  template <typename At>
+  void build(std::size_t n, int dim, At&& at) {
+    n_ = n;
+    dim_ = dim;
+    cols_.resize(n * static_cast<std::size_t>(dim));
+    for (std::size_t i = 0; i < n; ++i) {
+      const Point& p = at(i);
+      KC_DCHECK(p.dim() == dim);
+      for (int j = 0; j < dim; ++j)
+        cols_[static_cast<std::size_t>(j) * n + i] = p[j];
+    }
+  }
+
+  std::vector<double> cols_;
+  std::size_t n_ = 0;
+  int dim_ = 0;
+};
+
+/// Writes the distance key of every buffered point to `q` into out[0..n).
+/// Column-at-a-time passes: each inner loop is a straight-line stream over
+/// two contiguous arrays, which the compiler vectorizes.  Accumulation per
+/// point is still dimension-ascending, so out[i] == key_to<N>(i, q).
+template <Norm N>
+inline void compute_keys(const PointBuffer& buf, const double* q,
+                         double* out) noexcept {
+  const std::size_t n = buf.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = 0.0;
+  for (int j = 0; j < buf.dim(); ++j) {
+    const double* c = buf.col(j);
+    const double qj = q[j];
+    if constexpr (N == Norm::L2) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double diff = c[i] - qj;
+        out[i] += diff * diff;
+      }
+    } else if constexpr (N == Norm::Linf) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double diff = std::fabs(c[i] - qj);
+        if (diff > out[i]) out[i] = diff;
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] += std::fabs(c[i] - qj);
+    }
+  }
+}
+
+struct RelaxResult {
+  std::size_t far_idx = 0;  ///< first index attaining the max relaxed key
+  double far_key = -1.0;    ///< max over i of the relaxed keys[i]
+};
+
+/// One Gonzalez relaxation sweep: keys[i] = min(keys[i], key(i, q)) with
+/// assign[i] = label on improvement, returning the farthest point under the
+/// *relaxed* keys (first max wins, matching the historical scalar loop).
+/// `scratch` must have room for buf.size() doubles.
+template <Norm N>
+inline RelaxResult relax_min_keys(const PointBuffer& buf, const double* q,
+                                  std::uint32_t label, double* keys,
+                                  std::uint32_t* assign,
+                                  double* scratch) noexcept {
+  compute_keys<N>(buf, q, scratch);
+  RelaxResult res;
+  const std::size_t n = buf.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scratch[i] < keys[i]) {
+      keys[i] = scratch[i];
+      assign[i] = label;
+    }
+    if (keys[i] > res.far_key) {
+      res.far_key = keys[i];
+      res.far_idx = i;
+    }
+  }
+  return res;
+}
+
+/// Total weight of the not-yet-covered candidates within the key threshold:
+/// the Charikar "how much uncovered weight does this ball grab" scan over a
+/// grid-bucketed candidate list.  Pass covered == nullptr when nothing is
+/// covered yet.
+template <Norm N>
+[[nodiscard]] inline std::int64_t count_within(
+    const PointBuffer& buf, const std::uint32_t* idx, std::size_t m,
+    const double* q, double key_thresh, const std::int64_t* w,
+    const std::uint8_t* covered) noexcept {
+  std::int64_t sum = 0;
+  for (std::size_t t = 0; t < m; ++t) {
+    const std::uint32_t j = idx[t];
+    if (covered != nullptr && covered[j] != 0) continue;
+    if (buf.key_to<N>(j, q) <= key_thresh) sum += w[j];
+  }
+  return sum;
+}
+
+/// Marks every uncovered candidate within the key threshold as covered,
+/// invoking `on_covered(j)` once per newly covered index, and returns the
+/// total weight removed (the Charikar 3r-ball removal).
+template <Norm N, typename F>
+inline std::int64_t mark_within(const PointBuffer& buf,
+                                const std::uint32_t* idx, std::size_t m,
+                                const double* q, double key_thresh,
+                                const std::int64_t* w, std::uint8_t* covered,
+                                F&& on_covered) {
+  std::int64_t removed = 0;
+  for (std::size_t t = 0; t < m; ++t) {
+    const std::uint32_t j = idx[t];
+    if (covered[j] != 0) continue;
+    if (buf.key_to<N>(j, q) <= key_thresh) {
+      covered[j] = 1;
+      removed += w[j];
+      on_covered(j);
+    }
+  }
+  return removed;
+}
+
+}  // namespace kernels
+}  // namespace kc

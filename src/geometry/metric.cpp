@@ -1,54 +1,10 @@
 #include "geometry/metric.hpp"
 
-#include <cmath>
+// The distance computations themselves (dist / dist_key / key_to_dist) are
+// defined inline in metric.hpp on top of geometry/kernels.hpp; only the
+// cold plumbing lives out of line.
 
 namespace kc {
-
-double Metric::dist(const Point& a, const Point& b) const {
-  KC_DCHECK(a.dim() == b.dim());
-  const int d = a.dim();
-  switch (norm_) {
-    case Norm::L2: {
-      double s = 0.0;
-      for (int i = 0; i < d; ++i) {
-        const double diff = a[i] - b[i];
-        s += diff * diff;
-      }
-      return std::sqrt(s);
-    }
-    case Norm::Linf: {
-      double m = 0.0;
-      for (int i = 0; i < d; ++i) {
-        const double diff = std::fabs(a[i] - b[i]);
-        if (diff > m) m = diff;
-      }
-      return m;
-    }
-    case Norm::L1: {
-      double s = 0.0;
-      for (int i = 0; i < d; ++i) s += std::fabs(a[i] - b[i]);
-      return s;
-    }
-    case Norm::Custom:
-      return (*custom_)(a, b);
-  }
-  return 0.0;  // unreachable
-}
-
-double Metric::dist_key(const Point& a, const Point& b) const {
-  if (norm_ != Norm::L2) return dist(a, b);
-  KC_DCHECK(a.dim() == b.dim());
-  double s = 0.0;
-  for (int i = 0; i < a.dim(); ++i) {
-    const double diff = a[i] - b[i];
-    s += diff * diff;
-  }
-  return s;
-}
-
-double Metric::key_to_dist(double key) const noexcept {
-  return norm_ == Norm::L2 ? std::sqrt(key) : key;
-}
 
 const char* Metric::name() const noexcept {
   switch (norm_) {

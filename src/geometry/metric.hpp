@@ -15,15 +15,15 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <memory>
 
+#include "geometry/kernels.hpp"  // defines Norm + the inline kernels
 #include "geometry/point.hpp"
 
 namespace kc {
-
-enum class Norm : std::uint8_t { L2, Linf, L1, Custom };
 
 /// User-supplied distance; must satisfy the metric axioms.
 using DistanceFn = std::function<double(const Point&, const Point&)>;
@@ -43,14 +43,33 @@ class Metric {
 
   [[nodiscard]] Norm norm() const noexcept { return norm_; }
 
-  [[nodiscard]] double dist(const Point& a, const Point& b) const;
+  /// Defined inline (dispatching to the geometry/kernels.hpp kernels) so
+  /// even non-batched call sites pay no out-of-line call per distance.
+  [[nodiscard]] double dist(const Point& a, const Point& b) const {
+    KC_DCHECK(a.dim() == b.dim());
+    if (norm_ == Norm::Custom) return (*custom_)(a, b);
+    return kernels::dist(norm_, a.coords().data(), b.coords().data(), a.dim());
+  }
 
   /// Monotone "fast key" — squared distance under L2 (avoids the sqrt in
   /// inner loops); equals dist for every other kind.
-  [[nodiscard]] double dist_key(const Point& a, const Point& b) const;
+  [[nodiscard]] double dist_key(const Point& a, const Point& b) const {
+    KC_DCHECK(a.dim() == b.dim());
+    if (norm_ == Norm::Custom) return (*custom_)(a, b);
+    return kernels::dist_key(norm_, a.coords().data(), b.coords().data(),
+                             a.dim());
+  }
 
   /// Converts a key produced by dist_key back to a distance.
-  [[nodiscard]] double key_to_dist(double key) const noexcept;
+  [[nodiscard]] double key_to_dist(double key) const noexcept {
+    return norm_ == Norm::L2 ? std::sqrt(key) : key;
+  }
+
+  /// Converts a distance threshold to a key threshold: `dist(a,b) <= r` iff
+  /// `dist_key(a,b) <= dist_to_key(r)` for r >= 0 (built-in norms).
+  [[nodiscard]] double dist_to_key(double r) const noexcept {
+    return norm_ == Norm::L2 ? r * r : r;
+  }
 
   /// Doubling dimension of (R^d, norm): the smallest D such that every ball
   /// is covered by 2^D balls of half the radius.  For L∞ it is exactly d;

@@ -32,9 +32,12 @@
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-// geometry — points, metrics, and spatial decomposition.
+// geometry — points, metrics, and spatial decomposition, plus the
+// performance layer (inline kernels + radius-tuned hash grid).
 #include "geometry/box.hpp"
 #include "geometry/grid.hpp"
+#include "geometry/grid_index.hpp"
+#include "geometry/kernels.hpp"
 #include "geometry/metric.hpp"
 #include "geometry/point.hpp"
 

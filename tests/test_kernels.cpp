@@ -1,0 +1,249 @@
+// The performance layer's correctness contract (geometry/kernels.hpp,
+// geometry/grid_index.hpp): inline kernels are bit-identical to the Metric
+// scalar path, the grid index yields a superset of every ball query, and
+// the grid-accelerated hot paths (mbc_with_radius, charikar_run) produce
+// exactly the same output as the retained scalar references across norms
+// and dimensions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/charikar.hpp"
+#include "core/mbc.hpp"
+#include "geometry/grid_index.hpp"
+#include "geometry/kernels.hpp"
+#include "geometry/metric.hpp"
+#include "util/rng.hpp"
+
+namespace kc {
+namespace {
+
+// Random weighted points on a coarse lattice: quantized coordinates make
+// exact-tie and exactly-on-the-boundary distances common, which is where a
+// sloppy reimplementation would diverge from the reference.
+WeightedSet lattice_points(std::size_t n, int dim, std::uint64_t seed) {
+  Rng rng(seed);
+  WeightedSet pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Point p(dim);
+    for (int j = 0; j < dim; ++j)
+      p[j] = 0.25 * static_cast<double>(rng.uniform_int(-20, 20));
+    pts.push_back({p, static_cast<std::int64_t>(rng.uniform(5)) + 1});
+  }
+  return pts;
+}
+
+const Norm kNorms[] = {Norm::L2, Norm::Linf, Norm::L1};
+
+TEST(Kernels, DistKeyMatchesMetricExactly) {
+  Rng rng(7);
+  for (const Norm norm : kNorms) {
+    const Metric metric{norm};
+    for (int dim = 1; dim <= Point::kMaxDim; ++dim) {
+      for (int rep = 0; rep < 50; ++rep) {
+        Point a(dim), b(dim);
+        for (int j = 0; j < dim; ++j) {
+          a[j] = rng.uniform_real(-10.0, 10.0);
+          b[j] = rng.uniform_real(-10.0, 10.0);
+        }
+        const double key = kernels::dist_key(norm, a.coords().data(),
+                                             b.coords().data(), dim);
+        // Bit-identical, not just close: the grid paths rely on exact
+        // threshold agreement with the scalar code.
+        EXPECT_EQ(key, metric.dist_key(a, b));
+        EXPECT_EQ(metric.key_to_dist(key), metric.dist(a, b));
+      }
+    }
+  }
+}
+
+TEST(Kernels, PointBufferKeysMatchScalar) {
+  const int dim = 3;
+  const WeightedSet pts = lattice_points(200, dim, 11);
+  const kernels::PointBuffer buf(pts);
+  ASSERT_EQ(buf.size(), pts.size());
+  ASSERT_EQ(buf.dim(), dim);
+  const Point q{1.25, -0.5, 3.0};
+  for (const Norm norm : kNorms) {
+    const Metric metric{norm};
+    std::vector<double> batch(pts.size());
+    switch (norm) {
+      case Norm::L2:
+        kernels::compute_keys<Norm::L2>(buf, q.coords().data(), batch.data());
+        break;
+      case Norm::Linf:
+        kernels::compute_keys<Norm::Linf>(buf, q.coords().data(),
+                                          batch.data());
+        break;
+      default:
+        kernels::compute_keys<Norm::L1>(buf, q.coords().data(), batch.data());
+        break;
+    }
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      EXPECT_EQ(batch[i], metric.dist_key(pts[i].p, q))
+          << metric.name() << " point " << i;
+  }
+}
+
+TEST(Kernels, RelaxMinKeysMatchesScalarSweep) {
+  const int dim = 2;
+  const WeightedSet pts = lattice_points(300, dim, 13);
+  const Metric metric{Norm::L2};
+  const kernels::PointBuffer buf(pts);
+  const std::size_t n = pts.size();
+
+  std::vector<double> keys(n, std::numeric_limits<double>::infinity());
+  std::vector<double> ref_keys = keys;
+  std::vector<std::uint32_t> assign(n, 0), ref_assign(n, 0);
+  std::vector<double> scratch(n);
+
+  for (std::uint32_t label = 0; label < 5; ++label) {
+    const Point& c = pts[label * 37].p;
+    const kernels::RelaxResult rr = kernels::relax_min_keys<Norm::L2>(
+        buf, c.coords().data(), label, keys.data(), assign.data(),
+        scratch.data());
+    // Scalar reference sweep (the historical gonzalez inner loop).
+    double far_key = -1.0;
+    std::size_t far_idx = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double k2 = metric.dist_key(pts[i].p, c);
+      if (k2 < ref_keys[i]) {
+        ref_keys[i] = k2;
+        ref_assign[i] = label;
+      }
+      if (ref_keys[i] > far_key) {
+        far_key = ref_keys[i];
+        far_idx = i;
+      }
+    }
+    EXPECT_EQ(rr.far_idx, far_idx);
+    EXPECT_EQ(rr.far_key, far_key);
+    EXPECT_EQ(keys, ref_keys);
+    EXPECT_EQ(assign, ref_assign);
+  }
+}
+
+TEST(GridIndex, CandidatesAreASupersetOfEveryBall) {
+  for (const Norm norm : kNorms) {
+    const Metric metric{norm};
+    for (int dim = 1; dim <= 3; ++dim) {
+      const WeightedSet pts = lattice_points(150, dim, 17 + dim);
+      for (const double radius : {0.25, 0.8, 2.0}) {
+        GridIndex grid(radius, dim);
+        for (std::size_t i = 0; i < pts.size(); ++i)
+          grid.insert(pts[i].p, static_cast<std::uint32_t>(i));
+        for (std::size_t qi = 0; qi < pts.size(); qi += 7) {
+          std::vector<bool> seen(pts.size(), false);
+          std::size_t yielded = 0;
+          grid.for_each_candidate(
+              pts[qi].p.coords().data(), grid.reach_for(radius),
+              [&](std::span<const std::uint32_t> cell) {
+                for (const std::uint32_t j : cell) {
+                  EXPECT_FALSE(seen[j]) << "index yielded twice";
+                  seen[j] = true;
+                  ++yielded;
+                }
+              });
+          for (std::size_t j = 0; j < pts.size(); ++j) {
+            if (metric.dist(pts[qi].p, pts[j].p) <= radius) {
+              EXPECT_TRUE(seen[j])
+                  << metric.name() << " d=" << dim << " r=" << radius
+                  << ": point " << j << " within radius but not yielded";
+            }
+          }
+          (void)yielded;
+        }
+      }
+    }
+  }
+}
+
+void expect_same_covering(const MiniBallCovering& got,
+                          const MiniBallCovering& want) {
+  ASSERT_EQ(got.reps.size(), want.reps.size());
+  for (std::size_t r = 0; r < want.reps.size(); ++r) {
+    EXPECT_EQ(got.reps[r].p, want.reps[r].p) << "rep " << r;
+    EXPECT_EQ(got.reps[r].w, want.reps[r].w) << "rep " << r;
+  }
+  EXPECT_EQ(got.assignment, want.assignment);
+  EXPECT_EQ(got.cover_radius, want.cover_radius);
+}
+
+TEST(GridEquivalence, MbcWithRadiusMatchesScalarReference) {
+  for (const Norm norm : kNorms) {
+    const Metric metric{norm};
+    for (int dim = 1; dim <= 3; ++dim) {
+      for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        const WeightedSet pts = lattice_points(400, dim, seed * 101);
+        // 0.25-quantized coordinates make 0.5 / 1.0 exact-boundary radii.
+        for (const double radius : {0.5, 1.0, 2.75}) {
+          SCOPED_TRACE(std::string(metric.name()) + " d=" +
+                       std::to_string(dim) + " r=" + std::to_string(radius));
+          const MiniBallCovering ref =
+              mbc_with_radius_scalar(pts, radius, metric);
+          // Pure grid path and the adaptive public entry point must both
+          // reproduce the scalar reference exactly.
+          expect_same_covering(mbc_with_radius_grid(pts, radius, metric),
+                               ref);
+          expect_same_covering(mbc_with_radius(pts, radius, metric), ref);
+        }
+      }
+    }
+  }
+}
+
+TEST(GridEquivalence, CharikarRunMatchesScalarReference) {
+  for (const Norm norm : kNorms) {
+    const Metric metric{norm};
+    for (int dim = 1; dim <= 3; ++dim) {
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        const WeightedSet pts = lattice_points(300, dim, seed * 211);
+        for (const int k : {1, 3}) {
+          for (const std::int64_t z : {0LL, 25LL}) {
+            for (const double r : {0.25, 0.75, 3.0}) {
+              const CharikarRun grid = charikar_run(pts, k, z, r, metric);
+              const CharikarRun ref =
+                  charikar_run_scalar(pts, k, z, r, metric);
+              SCOPED_TRACE(std::string(metric.name()) + " d=" +
+                           std::to_string(dim) + " k=" + std::to_string(k) +
+                           " z=" + std::to_string(z) +
+                           " r=" + std::to_string(r));
+              ASSERT_EQ(grid.centers.size(), ref.centers.size());
+              for (std::size_t c = 0; c < ref.centers.size(); ++c)
+                EXPECT_EQ(grid.centers[c], ref.centers[c]) << "center " << c;
+              EXPECT_EQ(grid.uncovered, ref.uncovered);
+              EXPECT_EQ(grid.success, ref.success);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GridEquivalence, CustomMetricStillWorksViaScalarFallback) {
+  // A weighted L1 variant: no kernels, no grid — but the public entry
+  // points must keep producing the reference answer.
+  const Metric metric{DistanceFn([](const Point& a, const Point& b) {
+    double s = 0.0;
+    for (int j = 0; j < a.dim(); ++j) s += 2.0 * std::fabs(a[j] - b[j]);
+    return s;
+  })};
+  const WeightedSet pts = lattice_points(100, 2, 5);
+  const MiniBallCovering got = mbc_with_radius(pts, 1.0, metric);
+  const MiniBallCovering want = mbc_with_radius_scalar(pts, 1.0, metric);
+  expect_same_covering(got, want);
+  const CharikarRun run = charikar_run(pts, 2, 5, 1.0, metric);
+  const CharikarRun ref = charikar_run_scalar(pts, 2, 5, 1.0, metric);
+  EXPECT_EQ(run.uncovered, ref.uncovered);
+  EXPECT_EQ(run.success, ref.success);
+}
+
+}  // namespace
+}  // namespace kc
