@@ -2,79 +2,12 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 
 #include "core/cost.hpp"
 #include "util/rng.hpp"
+#include "workload/streams.hpp"
 
 namespace kc::bench {
-
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x",
-                    static_cast<unsigned>(static_cast<unsigned char>(c)));
-      out.append(buf);
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
-std::string JsonField::to_json() const {
-  // Built with append() — a const char* first operand to operator+ trips a
-  // GCC 12 -Wrestrict false positive (see examples/mpc_cluster.cpp).
-  std::string out;
-  out.append("\"").append(json_escape(key_)).append("\": ");
-  char buf[64];
-  switch (kind_) {
-    case Kind::Int:
-      std::snprintf(buf, sizeof buf, "%lld", int_);
-      out.append(buf);
-      break;
-    case Kind::Double:
-      std::snprintf(buf, sizeof buf, "%.10g", double_);
-      out.append(buf);
-      break;
-    case Kind::Str:
-      out.append("\"").append(json_escape(str_)).append("\"");
-      break;
-  }
-  return out;
-}
-
-JsonLog JsonLog::from_flags(const Flags& flags) {
-  JsonLog log;
-  log.path_ = flags.get_string("json", "");
-  log.tag_ = flags.get_string("json-tag", "");
-  return log;
-}
-
-void JsonLog::record(const std::string& experiment,
-                     std::initializer_list<JsonField> fields) const {
-  if (!enabled()) return;
-  std::ofstream out(path_, std::ios::app);
-  if (!out) {
-    std::fprintf(stderr, "warning: cannot append bench record to %s\n",
-                 path_.c_str());
-    return;
-  }
-  out << "{" << JsonField("experiment", experiment).to_json();
-  for (const auto& f : fields) out << ", " << f.to_json();
-  if (!tag_.empty()) out << ", " << JsonField("tag", tag_).to_json();
-  out << "}\n";
-}
 
 void banner(const std::string& experiment_id, const std::string& description,
             std::uint64_t seed) {
@@ -100,6 +33,31 @@ PlantedInstance standard_instance(std::size_t n, int k, std::int64_t z,
   cfg.dim = dim;
   cfg.seed = seed;
   return make_planted(cfg);
+}
+
+Table1Setup table1_setup(int argc, char** argv,
+                         const std::string& experiment_id,
+                         const std::string& description, int default_k,
+                         double default_eps) {
+  const Flags flags(argc, argv);
+  Table1Setup setup;
+  setup.quick = flags.has("quick");
+  setup.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  setup.k = static_cast<int>(flags.get_int("k", default_k));
+  setup.eps = flags.get_double("eps", default_eps);
+  setup.csv_path = flags.has("csv") ? flags.get_string("csv", "t1.csv") : "";
+  setup.json = JsonLog::from_flags(flags);
+  banner(experiment_id, description, setup.seed);
+  return setup;
+}
+
+engine::Workload table1_workload(std::size_t n, int k, std::int64_t z,
+                                 std::uint64_t inst_seed, int dim,
+                                 std::uint64_t order_seed) {
+  engine::Workload w;
+  w.planted = standard_instance(n, k, z, inst_seed, dim);
+  w.order = shuffled_order(n, order_seed);
+  return w;
 }
 
 WeightedSet cloud_and_clusters(std::size_t n_cluster, std::size_t n_cloud,

@@ -1,16 +1,19 @@
 // Shared helpers for the experiment harnesses: banner printing, the
-// "cloud + clusters" separating workload, quality evaluation, and the JSON
-// bench log that records the repo's performance trajectory.
+// "cloud + clusters" separating workload, quality evaluation, and the
+// common Table-1 setup (flag parsing + planted instances + engine
+// workloads).  The JSON bench log lives in the library
+// (src/util/jsonlog.hpp) so tools/ can use it too.
 
 #pragma once
 
 #include <cstdint>
-#include <initializer_list>
 #include <string>
 
 #include "core/solver.hpp"
 #include "core/types.hpp"
+#include "engine/pipeline.hpp"
 #include "util/flags.hpp"
+#include "util/jsonlog.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/generators.hpp"
@@ -31,6 +34,32 @@ void shape_note(const std::string& text);
                                                 std::uint64_t seed,
                                                 int dim = 2);
 
+/// The shared preamble of the bench_table1_* harnesses: parse the common
+/// flags (--quick, --seed, --k, --eps, --json, --json-tag), print the
+/// banner, and hand back everything the sweeps need.  Deduplicates the
+/// copy-pasted setup blocks the three harnesses used to carry.
+struct Table1Setup {
+  bool quick = false;
+  std::uint64_t seed = 1;
+  int k = 0;
+  double eps = 0.0;
+  std::string csv_path;  ///< from --csv; empty = no raw-series dump
+  JsonLog json;
+};
+[[nodiscard]] Table1Setup table1_setup(int argc, char** argv,
+                                       const std::string& experiment_id,
+                                       const std::string& description,
+                                       int default_k, double default_eps);
+
+/// Engine workload over a standard Table-1 instance: planted points from
+/// `inst_seed`, arrival order from `order_seed` (the harnesses pin both so
+/// refactors reproduce historical numbers exactly).
+[[nodiscard]] engine::Workload table1_workload(std::size_t n, int k,
+                                               std::int64_t z,
+                                               std::uint64_t inst_seed,
+                                               int dim,
+                                               std::uint64_t order_seed);
+
 /// The ABL-GUESS separating workload: k dense planted clusters plus a wide
 /// uniform cloud whose points look like outliers locally but are globally
 /// structured (see DESIGN.md).
@@ -43,55 +72,5 @@ void shape_note(const std::string& text);
 [[nodiscard]] double quality_ratio(const WeightedSet& full,
                                    const WeightedSet& coreset, int k,
                                    std::int64_t z, const Metric& metric);
-
-/// One typed field of a JSON bench record.
-class JsonField {
- public:
-  JsonField(std::string key, long long v)
-      : key_(std::move(key)), kind_(Kind::Int), int_(v) {}
-  JsonField(std::string key, int v) : JsonField(std::move(key),
-                                               static_cast<long long>(v)) {}
-  JsonField(std::string key, double v)
-      : key_(std::move(key)), kind_(Kind::Double), double_(v) {}
-  JsonField(std::string key, std::string v)
-      : key_(std::move(key)), kind_(Kind::Str), str_(std::move(v)) {}
-  JsonField(std::string key, const char* v)
-      : JsonField(std::move(key), std::string(v)) {}
-
-  /// Serializes as `"key": value`.
-  [[nodiscard]] std::string to_json() const;
-
- private:
-  enum class Kind { Int, Double, Str };
-  std::string key_;
-  Kind kind_;
-  long long int_ = 0;
-  double double_ = 0.0;
-  std::string str_;
-};
-
-/// Append-only JSON-lines bench log (one `{...}` record per line), enabled
-/// by the harness-wide `--json <path>` flag.  Every record carries the
-/// experiment id plus the caller's fields, and an optional `tag` (from
-/// `--json-tag`, e.g. a commit id) so trajectories across PRs can be told
-/// apart in one file.  Disabled (no file touched) when the flag is absent.
-class JsonLog {
- public:
-  JsonLog() = default;  ///< disabled
-
-  /// Reads `--json <path>` and `--json-tag <tag>`.
-  [[nodiscard]] static JsonLog from_flags(const Flags& flags);
-
-  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
-
-  /// Appends one record: `{"experiment": ..., <fields>..., "tag": ...}`.
-  /// No-op when disabled.
-  void record(const std::string& experiment,
-              std::initializer_list<JsonField> fields) const;
-
- private:
-  std::string path_;
-  std::string tag_;
-};
 
 }  // namespace kc::bench

@@ -1,4 +1,7 @@
-// T1-DYN — the fully dynamic rows of Table 1 (Algorithm 5, Theorem 21).
+// T1-DYN — the fully dynamic rows of Table 1 (Algorithm 5, Theorem 21),
+// each configuration one run of the engine's "dynamic" pipeline; the
+// harness keeps only the naive point-store baseline (the Ω(n)-space
+// comparison row) and the sweep/printing glue.
 //
 // Sweep 1 (Δ): measured sketch words vs Δ.  The paper bound is
 // O((k/ε^d+z)·log^4(kΔ/εδ)); our substituted sketches are polylog too —
@@ -17,75 +20,67 @@
 #include <vector>
 
 #include "bench_support.hpp"
-#include "core/cost.hpp"
-#include "dynamic/dynamic_coreset.hpp"
 #include "dynamic/naive_store.hpp"
-#include "util/timer.hpp"
+#include "engine/registry.hpp"
 #include "workload/streams.hpp"
 
 int main(int argc, char** argv) {
   using namespace kc;
   using namespace kc::bench;
-  using namespace kc::dynamic;
-  const Flags flags(argc, argv);
-  const bool quick = flags.has("quick");
-  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  const int k = static_cast<int>(flags.get_int("k", 2));
-  const Metric metric{Norm::L2};
+  const auto setup =
+      table1_setup(argc, argv, "T1-DYN",
+                   "Table 1 fully dynamic rows: sketch words vs Delta and z",
+                   /*default_k=*/2, /*default_eps=*/1.0);
+  const std::uint64_t seed = setup.seed;
 
-  banner("T1-DYN", "Table 1 fully dynamic rows: sketch words vs Delta and z",
-         seed);
+  engine::PipelineConfig base;
+  base.k = setup.k;
+  base.eps = setup.eps;
+  base.dim = 2;
 
   // ---- Sweep 1: Δ ---------------------------------------------------------
   const std::int64_t z1 = 8;
   std::vector<std::int64_t> deltas =
-      quick ? std::vector<std::int64_t>{1 << 6, 1 << 8}
-            : std::vector<std::int64_t>{1 << 6, 1 << 8, 1 << 10, 1 << 12};
+      setup.quick ? std::vector<std::int64_t>{1 << 6, 1 << 8}
+                  : std::vector<std::int64_t>{1 << 6, 1 << 8, 1 << 10, 1 << 12};
   Table t1({"Delta", "levels", "s", "sketch words", "naive-store words",
             "live", "coreset", "level used", "quality", "update us"});
   std::vector<double> lx, words;
   for (const auto delta : deltas) {
-    DynamicCoresetOptions opt;
-    opt.k = k;
-    opt.z = z1;
-    opt.eps = 1.0;
-    opt.delta = delta;
-    opt.dim = 2;
-    opt.seed = seed;
-    DynamicCoreset dc(opt);
+    engine::PipelineConfig cfg = base;
+    cfg.z = z1;
+    cfg.delta = delta;
+    cfg.seed = seed;
 
-    const std::size_t n = quick ? 400 : 1200;
-    const auto inst = standard_instance(n, k, z1, seed + 1);
-    const auto grid = discretize(inst.points, delta);
-    const auto script =
-        make_dynamic_script(grid, n / 2, delta, 2, seed + 2);
-    NaivePointStore naive(2);  // the Ω(n)-space baseline ([28], [6])
-    Timer timer;
-    for (const auto& up : script) dc.update(up.p, up.sign);
-    const double per_update_us =
-        timer.micros() / static_cast<double>(script.size());
-    for (const auto& up : script) naive.update(up.p, up.sign);
+    const std::size_t n = setup.quick ? 400 : 1200;
+    engine::Workload w;
+    w.planted = standard_instance(n, cfg.k, z1, seed + 1);
+    w.grid = discretize(w.planted.points, delta);
+    w.script = make_dynamic_script(w.grid, n / 2, delta, 2, seed + 2);
 
-    const auto q = dc.query();
-    WeightedSet live;
-    for (const auto& g : grid) live.push_back({g.to_point(), 1});
-    const double quality =
-        q.ok && !q.coreset.empty()
-            ? quality_ratio(live, q.coreset, k, z1, metric)
-            : -1.0;
-    t1.add_row({fmt_count(delta), std::to_string(dc.grids().levels()),
-                fmt_count(dc.sample_budget()),
-                fmt_count(static_cast<long long>(dc.words())),
+    const auto res = engine::run("dynamic", w, cfg);
+    const auto& r = res.report;
+    setup.json.record("engine_pipeline", r.json_fields());
+
+    dynamic::NaivePointStore naive(2);  // the Ω(n)-space baseline ([28], [6])
+    for (const auto& up : w.script) naive.update(up.p, up.sign);
+
+    const bool usable = r.get("ok") > 0 && r.coreset_size > 0;
+    t1.add_row({fmt_count(delta),
+                std::to_string(static_cast<int>(r.get("levels"))),
+                fmt_count(static_cast<long long>(r.get("sample_budget"))),
+                fmt_count(static_cast<long long>(r.words)),
                 fmt_count(static_cast<long long>(naive.peak_words())),
-                fmt_count(dc.live_points()),
-                fmt_count(static_cast<long long>(q.coreset.size())),
-                std::to_string(q.level), fmt(quality, 3),
-                fmt(per_update_us, 1)});
+                fmt_count(static_cast<long long>(r.get("live"))),
+                fmt_count(static_cast<long long>(r.coreset_size)),
+                std::to_string(static_cast<int>(r.get("level"))),
+                fmt(usable ? r.quality : -1.0, 3),
+                fmt(r.get("update_us"), 1)});
     lx.push_back(std::log2(static_cast<double>(delta)));
-    words.push_back(static_cast<double>(dc.words()));
+    words.push_back(static_cast<double>(r.words));
   }
-  std::printf("\n[Sweep 1] Delta-dependence (k=%d, z=%lld, eps=1, d=2):\n", k,
-              static_cast<long long>(z1));
+  std::printf("\n[Sweep 1] Delta-dependence (k=%d, z=%lld, eps=%g, d=2):\n",
+              setup.k, static_cast<long long>(z1), setup.eps);
   t1.print();
   if (lx.size() >= 2) {
     // Fit words against log2(Delta) on a log-log axis of (logΔ, words):
@@ -99,32 +94,31 @@ int main(int argc, char** argv) {
 
   // ---- Sweep 2: z ---------------------------------------------------------
   const std::int64_t delta2 = 1 << 8;
-  std::vector<std::int64_t> zs = quick ? std::vector<std::int64_t>{4, 16}
-                                       : std::vector<std::int64_t>{4, 16, 64};
+  std::vector<std::int64_t> zs = setup.quick
+                                     ? std::vector<std::int64_t>{4, 16}
+                                     : std::vector<std::int64_t>{4, 16, 64};
   Table t2({"z", "s", "sketch words", "coreset", "quality"});
   for (const auto z : zs) {
-    DynamicCoresetOptions opt;
-    opt.k = k;
-    opt.z = z;
-    opt.eps = 1.0;
-    opt.delta = delta2;
-    opt.dim = 2;
-    opt.seed = seed + 3;
-    DynamicCoreset dc(opt);
-    const std::size_t n = quick ? 400 : 1000;
-    const auto inst = standard_instance(n, k, z, seed + 4);
-    const auto grid = discretize(inst.points, delta2);
-    for (const auto& g : grid) dc.update(g, +1);
-    const auto q = dc.query();
-    WeightedSet live;
-    for (const auto& g : grid) live.push_back({g.to_point(), 1});
-    t2.add_row({fmt_count(z), fmt_count(dc.sample_budget()),
-                fmt_count(static_cast<long long>(dc.words())),
-                fmt_count(static_cast<long long>(q.coreset.size())),
-                fmt(q.ok && !q.coreset.empty()
-                        ? quality_ratio(live, q.coreset, k, z, metric)
-                        : -1.0,
-                    3)});
+    engine::PipelineConfig cfg = base;
+    cfg.z = z;
+    cfg.delta = delta2;
+    cfg.seed = seed + 3;
+
+    const std::size_t n = setup.quick ? 400 : 1000;
+    engine::Workload w;
+    w.planted = standard_instance(n, cfg.k, z, seed + 4);
+    w.grid = discretize(w.planted.points, delta2);
+    // No script: the pipeline inserts the discretized points in order.
+
+    const auto res = engine::run("dynamic", w, cfg);
+    const auto& r = res.report;
+    setup.json.record("engine_pipeline", r.json_fields());
+    const bool usable = r.get("ok") > 0 && r.coreset_size > 0;
+    t2.add_row({fmt_count(z),
+                fmt_count(static_cast<long long>(r.get("sample_budget"))),
+                fmt_count(static_cast<long long>(r.words)),
+                fmt_count(static_cast<long long>(r.coreset_size)),
+                fmt(usable ? r.quality : -1.0, 3)});
   }
   std::printf("\n[Sweep 2] z-dependence (Delta=%lld):\n",
               static_cast<long long>(delta2));

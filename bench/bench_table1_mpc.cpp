@@ -1,10 +1,12 @@
-// T1-MPC — regenerates the MPC rows of Table 1 empirically.
+// T1-MPC — regenerates the MPC rows of Table 1 empirically, running every
+// algorithm through the engine layer (kc::engine::registry()) so each row
+// is exactly `one pipeline × one workload × one config`.
 //
 // For each n (m = ⌈√n⌉ machines) we run:
-//   * ceccarello-1r : the 1-round baseline [11] (multiplicative z budget),
+//   * mpc-ceccarello : the 1-round baseline [11] (multiplicative z budget),
 //     adversarial partition;
-//   * ours-1r       : Algorithm 6 (randomized), random partition;
-//   * ours-2r       : Algorithm 2 (deterministic), adversarial partition;
+//   * mpc-1round     : Algorithm 6 (randomized), random partition;
+//   * mpc-2round     : Algorithm 2 (deterministic), adversarial partition;
 // and report measured peak worker words, coordinator words, communication,
 // merged/final coreset sizes, and the quality ratio.
 //
@@ -21,28 +23,50 @@
 #include <vector>
 
 #include "bench_support.hpp"
-#include "mpc/ceccarello.hpp"
-#include "mpc/one_round.hpp"
+#include "engine/registry.hpp"
 #include "mpc/partition.hpp"
-#include "mpc/two_round.hpp"
-#include "util/timer.hpp"
+
+namespace {
+
+using namespace kc;
+using namespace kc::bench;
+
+/// One engine run = one table row; returns the report for the shape notes.
+engine::PipelineReport run_row(Table& table, const std::string& pipeline,
+                               const char* label, const engine::Workload& w,
+                               const engine::PipelineConfig& cfg,
+                               const JsonLog& json) {
+  const auto res = engine::run(pipeline, w, cfg);
+  const auto& r = res.report;
+  table.add_row({label, fmt_count(static_cast<long long>(r.n)),
+                 std::to_string(cfg.machines), fmt_count(r.z),
+                 fmt_count(static_cast<long long>(r.words)),
+                 fmt_count(static_cast<long long>(r.get("coord_words"))),
+                 fmt_count(static_cast<long long>(r.comm_words)),
+                 fmt_count(static_cast<long long>(r.get("merged_size"))),
+                 fmt_count(static_cast<long long>(r.coreset_size)),
+                 fmt(r.quality, 3), fmt(r.build_ms, 0)});
+  json.record("engine_pipeline", r.json_fields());
+  return r;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace kc;
-  using namespace kc::bench;
-  using namespace kc::mpc;
-  const Flags flags(argc, argv);
-  const bool quick = flags.has("quick");
-  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  const double eps = flags.get_double("eps", 0.5);
-  const int k = static_cast<int>(flags.get_int("k", 4));
-  const Metric metric{Norm::L2};
+  const auto setup =
+      table1_setup(argc, argv, "T1-MPC",
+                   "Table 1 MPC rows: measured storage/communication per "
+                   "algorithm",
+                   /*default_k=*/4, /*default_eps=*/0.5);
+  const std::uint64_t seed = setup.seed;
 
-  banner("T1-MPC", "Table 1 MPC rows: measured storage/communication per "
-                   "algorithm", seed);
+  engine::PipelineConfig base;
+  base.k = setup.k;
+  base.eps = setup.eps;
+  base.dim = 2;
 
   // ---- Sweep 1: n grows, z = √n/4 ------------------------------------
-  std::vector<std::size_t> ns = quick
+  std::vector<std::size_t> ns = setup.quick
                                     ? std::vector<std::size_t>{1 << 12, 1 << 13}
                                     : std::vector<std::size_t>{1 << 12, 1 << 13,
                                                                1 << 14, 1 << 15};
@@ -52,64 +76,27 @@ int main(int argc, char** argv) {
   for (const auto n : ns) {
     const auto m = static_cast<int>(std::lround(std::sqrt(n)));
     const std::int64_t z = static_cast<std::int64_t>(std::sqrt(n)) / 4;
-    const auto inst = standard_instance(n, k, z, seed);
+    engine::Workload w;
+    w.planted = standard_instance(n, setup.k, z, seed);
 
-    {  // baseline
-      const auto parts =
-          partition_points(inst.points, m, PartitionKind::EvenSorted, seed);
-      Timer timer;
-      CeccarelloOptions opt;
-      opt.eps = eps;
-      const auto res = ceccarello_coreset(parts, k, z, metric, opt);
-      t1.add_row({"ceccarello-1r", fmt_count(static_cast<long long>(n)),
-                  std::to_string(m), fmt_count(z),
-                  fmt_count(static_cast<long long>(res.stats.max_worker_words())),
-                  fmt_count(static_cast<long long>(res.stats.coordinator_words())),
-                  fmt_count(static_cast<long long>(res.stats.total_comm_words)),
-                  fmt_count(static_cast<long long>(res.merged.size())),
-                  fmt_count(static_cast<long long>(res.coreset.size())),
-                  fmt(quality_ratio(inst.points, res.coreset, k, z, metric), 3),
-                  fmt(timer.millis(), 0)});
-    }
-    {  // ours, 1 round randomized
-      const auto parts =
-          partition_points(inst.points, m, PartitionKind::Random, seed + 1);
-      Timer timer;
-      OneRoundOptions opt;
-      opt.eps = eps;
-      const auto res = one_round_coreset(parts, k, z, n, metric, opt);
-      t1.add_row({"ours-1r", fmt_count(static_cast<long long>(n)),
-                  std::to_string(m), fmt_count(z),
-                  fmt_count(static_cast<long long>(res.stats.max_worker_words())),
-                  fmt_count(static_cast<long long>(res.stats.coordinator_words())),
-                  fmt_count(static_cast<long long>(res.stats.total_comm_words)),
-                  fmt_count(static_cast<long long>(res.merged.size())),
-                  fmt_count(static_cast<long long>(res.coreset.size())),
-                  fmt(quality_ratio(inst.points, res.coreset, k, z, metric), 3),
-                  fmt(timer.millis(), 0)});
-    }
-    {  // ours, 2 rounds deterministic, adversarial
-      const auto parts =
-          partition_points(inst.points, m, PartitionKind::EvenSorted, seed);
-      Timer timer;
-      TwoRoundOptions opt;
-      opt.eps = eps;
-      const auto res = two_round_coreset(parts, k, z, metric, opt);
-      t1.add_row({"ours-2r", fmt_count(static_cast<long long>(n)),
-                  std::to_string(m), fmt_count(z),
-                  fmt_count(static_cast<long long>(res.stats.max_worker_words())),
-                  fmt_count(static_cast<long long>(res.stats.coordinator_words())),
-                  fmt_count(static_cast<long long>(res.stats.total_comm_words)),
-                  fmt_count(static_cast<long long>(res.merged.size())),
-                  fmt_count(static_cast<long long>(res.coreset.size())),
-                  fmt(quality_ratio(inst.points, res.coreset, k, z, metric), 3),
-                  fmt(timer.millis(), 0)});
-      xs.push_back(static_cast<double>(n));
-      ours2_worker.push_back(static_cast<double>(res.stats.max_worker_words()));
-    }
+    engine::PipelineConfig cfg = base;
+    cfg.z = z;
+    cfg.machines = m;
+
+    cfg.partition = mpc::PartitionKind::EvenSorted;
+    cfg.partition_seed = seed;
+    run_row(t1, "mpc-ceccarello", "ceccarello-1r", w, cfg, setup.json);
+
+    cfg.partition_seed = seed + 1;  // mpc-1round partitions randomly
+    run_row(t1, "mpc-1round", "ours-1r", w, cfg, setup.json);
+
+    cfg.partition_seed = seed;
+    const auto r2 = run_row(t1, "mpc-2round", "ours-2r", w, cfg, setup.json);
+    xs.push_back(static_cast<double>(n));
+    ours2_worker.push_back(static_cast<double>(r2.words));
   }
   std::printf("\n[Sweep 1] storage vs n (z = sqrt(n)/4, eps=%g, k=%d, "
-              "d=2):\n", eps, k);
+              "d=2):\n", setup.eps, setup.k);
   t1.print();
   if (xs.size() >= 2)
     shape_note("ours-2r worker words ~ n^" +
@@ -120,46 +107,51 @@ int main(int argc, char** argv) {
   // Parameters chosen so the baseline's per-machine budget τ = (k+z)(4/ε)^d
   // stays below the machine load for small z (multiplicative growth
   // visible) and saturates at n/m for large z (ships everything).
-  const std::size_t n2 = quick ? (1 << 13) : (1 << 14);
-  const int m2 = 32;
-  const int k2 = 2;
-  const double eps2 = 1.0;
+  const std::size_t n2 = setup.quick ? (1 << 13) : (1 << 14);
   std::vector<std::int64_t> zs =
-      quick ? std::vector<std::int64_t>{4, 16}
-            : std::vector<std::int64_t>{4, 8, 16, 32};
+      setup.quick ? std::vector<std::int64_t>{4, 16}
+                  : std::vector<std::int64_t>{4, 8, 16, 32};
+  engine::PipelineConfig cfg2 = base;
+  cfg2.k = 2;
+  cfg2.eps = 1.0;
+  cfg2.machines = 32;
+  cfg2.partition = mpc::PartitionKind::EvenSorted;
+  cfg2.partition_seed = seed;
+  cfg2.with_extraction = false;  // this sweep reports storage shape only
   Table t2({"algorithm", "z", "tau/machine", "worker words", "coord words",
             "merged@coord", "final"});
   std::vector<double> zxs, base_merged, ours_merged;
   for (const auto z : zs) {
-    const auto inst = standard_instance(n2, k2, z, seed + 2);
-    const auto parts =
-        partition_points(inst.points, m2, PartitionKind::EvenSorted, seed);
+    engine::Workload w;
+    w.planted = standard_instance(n2, cfg2.k, z, seed + 2);
+    cfg2.z = z;
     {
-      CeccarelloOptions opt;
-      opt.eps = eps2;
-      const auto res = ceccarello_coreset(parts, k2, z, metric, opt);
-      t2.add_row({"ceccarello-1r", fmt_count(z), fmt_count(res.tau),
-                  fmt_count(static_cast<long long>(res.stats.max_worker_words())),
-                  fmt_count(static_cast<long long>(res.stats.coordinator_words())),
-                  fmt_count(static_cast<long long>(res.merged.size())),
-                  fmt_count(static_cast<long long>(res.coreset.size()))});
+      const auto res = engine::run("mpc-ceccarello", w, cfg2);
+      const auto& r = res.report;
+      t2.add_row({"ceccarello-1r", fmt_count(z),
+                  fmt_count(static_cast<long long>(r.get("tau"))),
+                  fmt_count(static_cast<long long>(r.words)),
+                  fmt_count(static_cast<long long>(r.get("coord_words"))),
+                  fmt_count(static_cast<long long>(r.get("merged_size"))),
+                  fmt_count(static_cast<long long>(r.coreset_size))});
+      setup.json.record("engine_pipeline", r.json_fields());
       zxs.push_back(static_cast<double>(z));
-      base_merged.push_back(static_cast<double>(res.merged.size()));
+      base_merged.push_back(r.get("merged_size"));
     }
     {
-      TwoRoundOptions opt;
-      opt.eps = eps2;
-      const auto res = two_round_coreset(parts, k2, z, metric, opt);
+      const auto res = engine::run("mpc-2round", w, cfg2);
+      const auto& r = res.report;
       t2.add_row({"ours-2r", fmt_count(z), "-",
-                  fmt_count(static_cast<long long>(res.stats.max_worker_words())),
-                  fmt_count(static_cast<long long>(res.stats.coordinator_words())),
-                  fmt_count(static_cast<long long>(res.merged.size())),
-                  fmt_count(static_cast<long long>(res.coreset.size()))});
-      ours_merged.push_back(static_cast<double>(res.merged.size()));
+                  fmt_count(static_cast<long long>(r.words)),
+                  fmt_count(static_cast<long long>(r.get("coord_words"))),
+                  fmt_count(static_cast<long long>(r.get("merged_size"))),
+                  fmt_count(static_cast<long long>(r.coreset_size))});
+      setup.json.record("engine_pipeline", r.json_fields());
+      ours_merged.push_back(r.get("merged_size"));
     }
   }
   std::printf("\n[Sweep 2] z-dependence at n=%zu, m=%d, eps=%g "
-              "(adversarial partition):\n", n2, m2, eps2);
+              "(adversarial partition):\n", n2, cfg2.machines, cfg2.eps);
   t2.print();
   if (zxs.size() >= 2) {
     shape_note("coordinator-inbound slope in z: baseline " +

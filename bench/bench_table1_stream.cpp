@@ -1,4 +1,6 @@
-// T1-STREAM — the insertion-only rows of Table 1.
+// T1-STREAM — the insertion-only rows of Table 1, each row one engine
+// pipeline run (stream-insertion under both threshold policies, and the
+// McCutchen–Khuller baseline).
 //
 // Sweep 1 (z): peak stored points of Algorithm 3 (threshold k(16/ε)^d + z)
 // vs the Ceccarello-style policy ((k+z)(16/ε)^d) vs McCutchen–Khuller
@@ -14,39 +16,61 @@
 #include <vector>
 
 #include "bench_support.hpp"
-#include "core/cost.hpp"
-#include "stream/insertion_only.hpp"
-#include "stream/mccutchen_khuller.hpp"
+#include "engine/registry.hpp"
 #include "util/csv.hpp"
-#include "util/timer.hpp"
-#include "workload/streams.hpp"
+
+namespace {
+
+using namespace kc;
+using namespace kc::bench;
+
+struct StreamRow {
+  engine::PipelineReport report;
+  double peak = 0.0;  ///< peak stored points (the Table-1 space metric)
+};
+
+StreamRow run_insertion(const engine::Workload& w, engine::PipelineConfig cfg,
+                        stream::ThresholdPolicy policy, const JsonLog& json) {
+  cfg.policy = policy;
+  const auto res = engine::run("stream-insertion", w, cfg);
+  json.record("engine_pipeline", res.report.json_fields());
+  return {res.report, res.report.get("peak_size")};
+}
+
+StreamRow run_mk(const engine::Workload& w, engine::PipelineConfig cfg,
+                 const JsonLog& json) {
+  cfg.with_direct_solve = false;  // MK quality is reported against opt_hi
+  const auto res = engine::run("stream-mk", w, cfg);
+  json.record("engine_pipeline", res.report.json_fields());
+  return {res.report, res.report.get("peak_points")};
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace kc;
-  using namespace kc::bench;
-  using namespace kc::stream;
-  const Flags flags(argc, argv);
-  const bool quick = flags.has("quick");
-  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  const int k = static_cast<int>(flags.get_int("k", 3));
+  const auto setup =
+      table1_setup(argc, argv, "T1-STREAM",
+                   "Table 1 insertion-only rows: peak stored points",
+                   /*default_k=*/3, /*default_eps=*/0.5);
+  const std::uint64_t seed = setup.seed;
   const int dim = 1;  // d=1 keeps thresholds reachable at bench scale
-  const Metric metric{Norm::L2};
 
-  banner("T1-STREAM", "Table 1 insertion-only rows: peak stored points",
-         seed);
+  engine::PipelineConfig base;
+  base.k = setup.k;
+  base.dim = dim;
 
   // Optional raw-series dump for plotting: --csv <path>.
   std::unique_ptr<CsvWriter> csv;
-  if (flags.has("csv")) {
+  if (!setup.csv_path.empty()) {
     csv = std::make_unique<CsvWriter>(
-        flags.get_string("csv", "t1_stream.csv"),
+        setup.csv_path,
         std::vector<std::string>{"sweep", "algorithm", "z", "eps", "peak",
                                  "bound"});
   }
 
   // ---- Sweep 1: z --------------------------------------------------------
   const double eps1 = 1.0;
-  std::vector<std::int64_t> zs = quick
+  std::vector<std::int64_t> zs = setup.quick
                                      ? std::vector<std::int64_t>{16, 64}
                                      : std::vector<std::int64_t>{16, 64, 256,
                                                                  512};
@@ -54,62 +78,59 @@ int main(int argc, char** argv) {
             "ms"});
   std::vector<double> zxs, ours_peak, base_peak, mk_peak;
   for (const auto z : zs) {
-    const std::size_t n = quick ? 6000 : 20000;
-    const auto inst = standard_instance(n, k, z, seed, dim);
-    const auto order = shuffled_order(n, seed + 7);
+    const std::size_t n = setup.quick ? 6000 : 20000;
+    const auto w = table1_workload(n, setup.k, z, seed, dim, seed + 7);
+    engine::PipelineConfig cfg = base;
+    cfg.z = z;
+    cfg.eps = eps1;
     {
-      InsertionOnlyStream s(k, z, eps1, dim, metric, ThresholdPolicy::Ours);
-      Timer timer;
-      for (auto idx : order) s.insert(inst.points[idx].p);
+      const auto row =
+          run_insertion(w, cfg, stream::ThresholdPolicy::Ours, setup.json);
       t1.add_row({"ours", fmt_count(z),
-                  fmt_count(static_cast<long long>(s.threshold())),
-                  fmt_count(static_cast<long long>(s.peak_size())),
-                  fmt_count(static_cast<long long>(s.coreset().size())),
-                  fmt(quality_ratio(inst.points, s.coreset(), k, z, metric), 3),
-                  fmt(timer.millis(), 0)});
+                  fmt_count(static_cast<long long>(row.report.get("threshold"))),
+                  fmt_count(static_cast<long long>(row.peak)),
+                  fmt_count(static_cast<long long>(row.report.coreset_size)),
+                  fmt(row.report.quality, 3), fmt(row.report.build_ms, 0)});
       zxs.push_back(static_cast<double>(z));
-      ours_peak.push_back(static_cast<double>(s.peak_size()));
+      ours_peak.push_back(row.peak);
       if (csv)
         csv->write_row({"z", "ours", std::to_string(z), fmt(eps1, 2),
-                        std::to_string(s.peak_size()),
-                        std::to_string(s.threshold())});
+                        std::to_string(static_cast<long long>(row.peak)),
+                        std::to_string(static_cast<long long>(
+                            row.report.get("threshold")))});
     }
     {
-      InsertionOnlyStream s(k, z, eps1, dim, metric,
-                            ThresholdPolicy::Ceccarello);
-      Timer timer;
-      for (auto idx : order) s.insert(inst.points[idx].p);
+      const auto row = run_insertion(w, cfg, stream::ThresholdPolicy::Ceccarello,
+                                     setup.json);
       t1.add_row({"ceccarello", fmt_count(z),
-                  fmt_count(static_cast<long long>(s.threshold())),
-                  fmt_count(static_cast<long long>(s.peak_size())),
-                  fmt_count(static_cast<long long>(s.coreset().size())),
-                  fmt(quality_ratio(inst.points, s.coreset(), k, z, metric), 3),
-                  fmt(timer.millis(), 0)});
-      base_peak.push_back(static_cast<double>(s.peak_size()));
+                  fmt_count(static_cast<long long>(row.report.get("threshold"))),
+                  fmt_count(static_cast<long long>(row.peak)),
+                  fmt_count(static_cast<long long>(row.report.coreset_size)),
+                  fmt(row.report.quality, 3), fmt(row.report.build_ms, 0)});
+      base_peak.push_back(row.peak);
       if (csv)
         csv->write_row({"z", "ceccarello", std::to_string(z), fmt(eps1, 2),
-                        std::to_string(s.peak_size()),
-                        std::to_string(s.threshold())});
+                        std::to_string(static_cast<long long>(row.peak)),
+                        std::to_string(static_cast<long long>(
+                            row.report.get("threshold")))});
     }
     {
-      McCutchenKhuller mk(k, z, eps1, metric);
-      Timer timer;
-      for (auto idx : order) mk.insert(inst.points[idx].p);
-      const Solution sol = mk.query();
-      const double on_full =
-          radius_with_outliers(inst.points, sol.centers, z, metric);
+      const auto row = run_mk(w, cfg, setup.json);
+      const double opt_hi = w.planted.opt_hi;
       t1.add_row({"mccutchen-khuller", fmt_count(z), "-",
-                  fmt_count(static_cast<long long>(mk.peak_points())), "-",
-                  fmt(inst.opt_hi > 0 ? on_full / inst.opt_hi : 0.0, 3),
-                  fmt(timer.millis(), 0)});
-      mk_peak.push_back(static_cast<double>(mk.peak_points()));
+                  fmt_count(static_cast<long long>(row.peak)), "-",
+                  fmt(opt_hi > 0 ? row.report.radius / opt_hi : 0.0, 3),
+                  fmt(row.report.build_ms, 0)});
+      mk_peak.push_back(row.peak);
       if (csv)
         csv->write_row({"z", "mccutchen-khuller", std::to_string(z),
-                        fmt(eps1, 2), std::to_string(mk.peak_points()), "-"});
+                        fmt(eps1, 2),
+                        std::to_string(static_cast<long long>(row.peak)),
+                        "-"});
     }
   }
   std::printf("\n[Sweep 1] z-dependence (eps=%g, d=%d, k=%d):\n", eps1, dim,
-              k);
+              setup.k);
   t1.print();
   if (zxs.size() >= 2) {
     shape_note("peak-vs-z slope: ours " + fmt(loglog_slope(zxs, ours_peak), 2) +
@@ -121,32 +142,30 @@ int main(int argc, char** argv) {
 
   // ---- Sweep 2: ε --------------------------------------------------------
   const std::int64_t z2 = 32;
-  std::vector<double> epses = quick ? std::vector<double>{1.0, 0.5}
-                                    : std::vector<double>{1.0, 0.5, 0.25};
+  std::vector<double> epses = setup.quick ? std::vector<double>{1.0, 0.5}
+                                          : std::vector<double>{1.0, 0.5, 0.25};
   Table t2({"algorithm", "eps", "bound", "peak stored", "final", "quality"});
   for (const double eps : epses) {
-    const std::size_t n = quick ? 6000 : 20000;
-    const auto inst = standard_instance(n, k, z2, seed + 3, dim);
-    const auto order = shuffled_order(n, seed + 11);
+    const std::size_t n = setup.quick ? 6000 : 20000;
+    const auto w = table1_workload(n, setup.k, z2, seed + 3, dim, seed + 11);
+    engine::PipelineConfig cfg = base;
+    cfg.z = z2;
+    cfg.eps = eps;
     {
-      InsertionOnlyStream s(k, z2, eps, dim, metric, ThresholdPolicy::Ours);
-      for (auto idx : order) s.insert(inst.points[idx].p);
+      const auto row =
+          run_insertion(w, cfg, stream::ThresholdPolicy::Ours, setup.json);
       t2.add_row({"ours", fmt(eps, 2),
-                  fmt_count(static_cast<long long>(s.threshold())),
-                  fmt_count(static_cast<long long>(s.peak_size())),
-                  fmt_count(static_cast<long long>(s.coreset().size())),
-                  fmt(quality_ratio(inst.points, s.coreset(), k, z2, metric),
-                      3)});
+                  fmt_count(static_cast<long long>(row.report.get("threshold"))),
+                  fmt_count(static_cast<long long>(row.peak)),
+                  fmt_count(static_cast<long long>(row.report.coreset_size)),
+                  fmt(row.report.quality, 3)});
     }
     {
-      McCutchenKhuller mk(k, z2, eps, metric);
-      for (auto idx : order) mk.insert(inst.points[idx].p);
-      const Solution sol = mk.query();
-      const double on_full =
-          radius_with_outliers(inst.points, sol.centers, z2, metric);
+      const auto row = run_mk(w, cfg, setup.json);
+      const double opt_hi = w.planted.opt_hi;
       t2.add_row({"mccutchen-khuller", fmt(eps, 2), "-",
-                  fmt_count(static_cast<long long>(mk.peak_points())), "-",
-                  fmt(inst.opt_hi > 0 ? on_full / inst.opt_hi : 0.0, 3)});
+                  fmt_count(static_cast<long long>(row.peak)), "-",
+                  fmt(opt_hi > 0 ? row.report.radius / opt_hi : 0.0, 3)});
     }
   }
   std::printf("\n[Sweep 2] eps-dependence (z=%lld, d=%d):\n",

@@ -1,7 +1,8 @@
 // MPC example: cluster a dataset distributed (adversarially) over a fleet
 // of simulated machines with the paper's deterministic 2-round algorithm,
 // and report per-machine storage and communication — the quantities
-// Theorem 10 bounds.
+// Theorem 10 bounds.  Runs through the engine layer: the same
+// `mpc-2round` pipeline kcenter_cli and the T1-MPC harness drive.
 //
 //   ./mpc_cluster [--n 40000] [--m 64] [--k 5] [--z 100] [--eps 0.5]
 //                 [--partition adversarial|random|roundrobin]
@@ -15,70 +16,56 @@ int main(int argc, char** argv) {
   using namespace kc;
   using namespace kc::mpc;
   const Flags flags(argc, argv);
-  PlantedConfig cfg;
-  cfg.n = static_cast<std::size_t>(flags.get_int("n", 40000));
+  engine::PipelineConfig cfg;
   cfg.k = static_cast<int>(flags.get_int("k", 5));
   cfg.z = flags.get_int("z", 100);
   cfg.dim = 2;
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  const int m = static_cast<int>(flags.get_int("m", 64));
-  const double eps = flags.get_double("eps", 0.5);
+  cfg.eps = flags.get_double("eps", 0.5);
+  cfg.machines = static_cast<int>(flags.get_int("m", 64));
+  cfg.partition_seed = 7;
+  cfg.with_direct_solve = false;  // report the bracket, not a direct solve
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 40000));
   const std::string part_name = flags.get_string("partition", "adversarial");
-  const PartitionKind kind = part_name == "random" ? PartitionKind::Random
-                             : part_name == "roundrobin"
-                                 ? PartitionKind::RoundRobin
-                                 : PartitionKind::EvenSorted;
-  const Metric metric{Norm::L2};
+  cfg.partition = part_name == "random"       ? PartitionKind::Random
+                  : part_name == "roundrobin" ? PartitionKind::RoundRobin
+                                              : PartitionKind::EvenSorted;
 
   std::printf("MPC 2-round coreset: n=%zu on m=%d machines (%s partition), "
               "k=%d z=%lld eps=%g\n\n",
-              cfg.n, m, partition_name(kind), cfg.k,
-              static_cast<long long>(cfg.z), eps);
+              n, cfg.machines, partition_name(cfg.partition), cfg.k,
+              static_cast<long long>(cfg.z), cfg.eps);
 
-  const PlantedInstance inst = make_planted(cfg);
-  const auto parts = partition_points(inst.points, m, kind, 7);
-
-  Timer timer;
-  TwoRoundOptions opt;
-  opt.eps = eps;
-  const auto res = two_round_coreset(parts, cfg.k, cfg.z, metric, opt);
-  const double elapsed = timer.millis();
-
-  const Solution via =
-      solve_kcenter_outliers(res.coreset, cfg.k, cfg.z, metric);
-  const double on_full =
-      radius_with_outliers(inst.points, via.centers, cfg.z, metric);
+  const engine::Workload workload = engine::make_workload(n, cfg);
+  const engine::PipelineResult res = engine::run("mpc-2round", workload, cfg);
+  const auto& r = res.report;
 
   Table table({"metric", "value"});
-  table.add_row({"rounds", std::to_string(res.stats.rounds)});
-  table.add_row({"r-hat (agreed radius)", fmt(res.r_hat, 4)});
+  table.add_row({"rounds", std::to_string(r.rounds)});
+  table.add_row({"r-hat (agreed radius)", fmt(r.get("r_hat"), 4)});
   table.add_row({"sum of outlier guesses (<= 2z)",
-                 fmt_count(res.sum_outlier_guesses)});
+                 fmt_count(static_cast<long long>(r.get("sum_guesses")))});
   table.add_row({"merged coreset at coordinator",
-                 fmt_count(static_cast<long long>(res.merged.size()))});
+                 fmt_count(static_cast<long long>(r.get("merged_size")))});
   table.add_row({"final coreset size",
-                 fmt_count(static_cast<long long>(res.coreset.size()))});
+                 fmt_count(static_cast<long long>(r.coreset_size))});
   table.add_row({"peak worker storage (words)",
-                 fmt_count(static_cast<long long>(
-                     res.stats.max_worker_words()))});
+                 fmt_count(static_cast<long long>(r.words))});
   table.add_row({"coordinator storage (words)",
-                 fmt_count(static_cast<long long>(
-                     res.stats.coordinator_words()))});
+                 fmt_count(static_cast<long long>(r.get("coord_words")))});
   table.add_row({"total communication (words)",
-                 fmt_count(static_cast<long long>(
-                     res.stats.total_comm_words))});
-  table.add_row({"radius via coreset (on full P)", fmt(on_full, 4)});
+                 fmt_count(static_cast<long long>(r.comm_words))});
+  table.add_row({"radius via coreset (on full P)", fmt(r.radius, 4)});
   // std::string first operand sidesteps a GCC 12 -Wrestrict false positive
   // in operator+(const char*, std::string&&).
   table.add_row({"planted optimum bracket",
-                 std::string("[") + fmt(inst.opt_lo, 4) + ", " +
-                     fmt(inst.opt_hi, 4) + "]"});
-  table.add_row({"wall clock (ms)", fmt(elapsed, 1)});
+                 std::string("[") + fmt(workload.planted.opt_lo, 4) + ", " +
+                     fmt(workload.planted.opt_hi, 4) + "]"});
+  table.add_row({"wall clock (ms)", fmt(r.build_ms + r.solve_ms, 1)});
   table.print();
 
-  std::printf("\nPer-machine local coreset sizes (first 8): ");
-  for (std::size_t i = 0; i < res.local_coreset_sizes.size() && i < 8; ++i)
-    std::printf("%zu ", res.local_coreset_sizes[i]);
-  std::printf("\n");
+  std::printf("\nExtracted %zu centers; the same workload drives any "
+              "registered pipeline (see kcenter_cli --list).\n",
+              res.solution.centers.size());
   return 0;
 }

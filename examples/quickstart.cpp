@@ -3,8 +3,11 @@
 //
 //   ./quickstart [--n 20000] [--k 4] [--z 50] [--eps 0.25] [--seed 1]
 //
-// This is the end-to-end pipeline of the paper in its simplest form:
-// MBCConstruction (Algorithm 1) → offline Charikar greedy on the coreset.
+// This is the end-to-end pipeline of the paper in its simplest form, run
+// through the engine layer: the "offline" pipeline is MBCConstruction
+// (Algorithm 1) → offline Charikar greedy on the coreset, and the report
+// carries the radius/quality/timing comparison.  `kcenter_cli --list`
+// shows every other registered pipeline the same workload can drive.
 
 #include <cstdio>
 
@@ -13,60 +16,42 @@
 int main(int argc, char** argv) {
   using namespace kc;
   const Flags flags(argc, argv);
-  PlantedConfig cfg;
-  cfg.n = static_cast<std::size_t>(flags.get_int("n", 20000));
+  engine::PipelineConfig cfg;
   cfg.k = static_cast<int>(flags.get_int("k", 4));
   cfg.z = flags.get_int("z", 50);
+  cfg.eps = flags.get_double("eps", 0.25);
   cfg.dim = 2;
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  const double eps = flags.get_double("eps", 0.25);
-  const Metric metric{Norm::L2};
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 20000));
 
-  std::printf("kcoreset quickstart: n=%zu k=%d z=%lld eps=%g (planted opt in "
-              "[%s, %s])\n",
-              cfg.n, cfg.k, static_cast<long long>(cfg.z), eps, "?", "?");
-  const PlantedInstance inst = make_planted(cfg);
-  std::printf("  planted optimum bracket: [%.4f, %.4f]\n", inst.opt_lo,
-              inst.opt_hi);
+  std::printf("kcoreset quickstart: n=%zu k=%d z=%lld eps=%g\n", n, cfg.k,
+              static_cast<long long>(cfg.z), cfg.eps);
+  const engine::Workload workload = engine::make_workload(n, cfg);
+  std::printf("  planted optimum bracket: [%.4f, %.4f]\n",
+              workload.planted.opt_lo, workload.planted.opt_hi);
 
-  // 1. Build the coreset.
-  Timer t_coreset;
-  const MiniBallCovering mbc =
-      mbc_construct(inst.points, cfg.k, cfg.z, eps, metric);
-  const double coreset_ms = t_coreset.millis();
-
-  // 2. Solve on the coreset and evaluate the centers on the full data.
-  Timer t_small;
-  const Solution via =
-      solve_kcenter_outliers(mbc.reps, cfg.k, cfg.z, metric);
-  const double small_ms = t_small.millis();
-  const double radius_on_full =
-      radius_with_outliers(inst.points, via.centers, cfg.z, metric);
-
-  // 3. Reference: solve directly on the full data.
-  Timer t_full;
-  const Solution direct =
-      solve_kcenter_outliers(inst.points, cfg.k, cfg.z, metric);
-  const double full_ms = t_full.millis();
+  // The offline pipeline: coreset build → solve on coreset → evaluate on
+  // the full set → reference direct solve (with_direct_solve).
+  const engine::PipelineResult res = engine::run("offline", workload, cfg);
+  const auto& r = res.report;
 
   Table table({"stage", "points", "radius", "time (ms)"});
-  table.add_row({"coreset build", fmt_count(static_cast<long long>(cfg.n)),
-                 "-", fmt(coreset_ms, 1)});
+  table.add_row({"coreset build", fmt_count(static_cast<long long>(n)), "-",
+                 fmt(r.build_ms, 1)});
   table.add_row({"solve on coreset",
-                 fmt_count(static_cast<long long>(mbc.reps.size())),
-                 fmt(radius_on_full, 4), fmt(small_ms, 1)});
-  table.add_row({"solve on full set",
-                 fmt_count(static_cast<long long>(cfg.n)),
-                 fmt(direct.radius, 4), fmt(full_ms, 1)});
+                 fmt_count(static_cast<long long>(r.coreset_size)),
+                 fmt(r.radius, 4), fmt(r.solve_ms, 1)});
+  table.add_row({"solve on full set", fmt_count(static_cast<long long>(n)),
+                 fmt(r.radius_direct, 4), fmt(r.get("direct_ms"), 1)});
   table.print();
 
   std::printf("\n  coreset size      : %zu points (%.2f%% of input)\n",
-              mbc.reps.size(),
-              100.0 * static_cast<double>(mbc.reps.size()) /
-                  static_cast<double>(cfg.n));
+              r.coreset_size,
+              100.0 * static_cast<double>(r.coreset_size) /
+                  static_cast<double>(n));
   std::printf("  radius ratio      : %.4f (coreset pipeline / direct)\n",
-              direct.radius > 0 ? radius_on_full / direct.radius : 1.0);
+              r.quality);
   std::printf("  speedup, solve    : %.1fx\n",
-              small_ms > 0 ? full_ms / small_ms : 0.0);
+              r.solve_ms > 0 ? r.get("direct_ms") / r.solve_ms : 0.0);
   return 0;
 }

@@ -1,0 +1,17 @@
+// Internal: explicit registration hooks for the built-in pipelines, one
+// per computation model (offline_pipeline.cpp, mpc_pipelines.cpp,
+// stream_pipelines.cpp, dynamic_pipeline.cpp).  Called once by
+// `registry()`; not part of the public engine API.
+
+#pragma once
+
+namespace kc::engine {
+
+class Registry;
+
+void register_offline_pipelines(Registry& reg);
+void register_mpc_pipelines(Registry& reg);
+void register_stream_pipelines(Registry& reg);
+void register_dynamic_pipelines(Registry& reg);
+
+}  // namespace kc::engine

@@ -1,0 +1,200 @@
+// MPC pipelines: the paper's three algorithms (2-round deterministic,
+// 1-round randomized, R-round trade-off) and the two Table-1 baselines
+// (Ceccarello et al. 1-round, Guha et al. local-z), all running on the
+// same measured `mpc::Simulator` and reporting the same storage /
+// communication quantities.
+//
+// Shared extra keys: "merged_size" (coordinator inbound before
+// recompression), "coord_words", plus per-algorithm diagnostics
+// ("r_hat"/"sum_guesses"/"eps_effective", "z_local", "beta", "tau").
+
+#include <memory>
+
+#include "engine/builtin.hpp"
+#include "engine/registry.hpp"
+#include "mpc/ceccarello.hpp"
+#include "mpc/guha.hpp"
+#include "mpc/multi_round.hpp"
+#include "mpc/one_round.hpp"
+#include "mpc/partition.hpp"
+#include "mpc/simulator.hpp"
+#include "mpc/two_round.hpp"
+#include "util/timer.hpp"
+
+namespace kc::engine {
+
+namespace {
+
+class MpcPipeline : public Pipeline {
+ public:
+  [[nodiscard]] std::string model() const final { return "mpc"; }
+
+  [[nodiscard]] PipelineResult run(const Workload& w,
+                                   const PipelineConfig& cfg) const final {
+    const auto parts = mpc::partition_points(
+        w.planted.points, cfg.machines, partition_kind(cfg),
+        cfg.partition_seed);
+    PipelineResult res;
+    Timer timer;
+    const mpc::MpcStats stats = run_mpc(parts, w, cfg, res);
+    res.report.build_ms = timer.millis();
+    res.report.rounds = stats.rounds;
+    res.report.words = stats.max_worker_words();
+    res.report.comm_words = stats.total_comm_words;
+    res.report.set("coord_words",
+                   static_cast<double>(stats.coordinator_words()));
+    extract_and_evaluate(res, w.planted.points, cfg, w);
+    return res;
+  }
+
+ protected:
+  /// Which partition the pipeline feeds the simulator (the randomized
+  /// 1-round algorithm overrides this: its guarantee needs Random).
+  [[nodiscard]] virtual mpc::PartitionKind partition_kind(
+      const PipelineConfig& cfg) const {
+    return cfg.partition;
+  }
+
+  /// Runs the algorithm, fills `res.coreset` + algorithm-specific extras,
+  /// and returns the simulator stats.
+  [[nodiscard]] virtual mpc::MpcStats run_mpc(
+      const std::vector<WeightedSet>& parts, const Workload& w,
+      const PipelineConfig& cfg, PipelineResult& res) const = 0;
+};
+
+class TwoRoundPipeline final : public MpcPipeline {
+ public:
+  [[nodiscard]] std::string name() const override { return "mpc-2round"; }
+  [[nodiscard]] std::string description() const override {
+    return "deterministic 2-round MPC coreset (Algorithm 2, Theorem 10)";
+  }
+
+ protected:
+  [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
+                                      const Workload&,
+                                      const PipelineConfig& cfg,
+                                      PipelineResult& res) const override {
+    mpc::TwoRoundOptions opt;
+    opt.eps = cfg.eps;
+    auto out = mpc::two_round_coreset(parts, cfg.k, cfg.z, cfg.metric(), opt);
+    res.coreset = std::move(out.coreset);
+    res.report.set("merged_size", static_cast<double>(out.merged.size()));
+    res.report.set("r_hat", out.r_hat);
+    res.report.set("sum_guesses",
+                   static_cast<double>(out.sum_outlier_guesses));
+    res.report.set("eps_effective", out.eps_effective);
+    return out.stats;
+  }
+};
+
+class OneRoundPipeline final : public MpcPipeline {
+ public:
+  [[nodiscard]] std::string name() const override { return "mpc-1round"; }
+  [[nodiscard]] std::string description() const override {
+    return "randomized 1-round MPC coreset (Algorithm 6, Theorem 33)";
+  }
+
+ protected:
+  [[nodiscard]] mpc::PartitionKind partition_kind(
+      const PipelineConfig&) const override {
+    return mpc::PartitionKind::Random;  // Lemma 32's distribution assumption
+  }
+
+  [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
+                                      const Workload& w,
+                                      const PipelineConfig& cfg,
+                                      PipelineResult& res) const override {
+    mpc::OneRoundOptions opt;
+    opt.eps = cfg.eps;
+    auto out = mpc::one_round_coreset(parts, cfg.k, cfg.z, w.n(), cfg.metric(),
+                                      opt);
+    res.coreset = std::move(out.coreset);
+    res.report.set("merged_size", static_cast<double>(out.merged.size()));
+    res.report.set("z_local", static_cast<double>(out.z_local));
+    res.report.set("eps_effective", out.eps_effective);
+    return out.stats;
+  }
+};
+
+class MultiRoundPipeline final : public MpcPipeline {
+ public:
+  [[nodiscard]] std::string name() const override { return "mpc-rround"; }
+  [[nodiscard]] std::string description() const override {
+    return "deterministic R-round MPC trade-off (Algorithm 7, Theorem 35)";
+  }
+  [[nodiscard]] double quality_bound() const override {
+    return 6.0;  // (1+eps)^R − 1 composed error needs extra headroom
+  }
+
+ protected:
+  [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
+                                      const Workload&,
+                                      const PipelineConfig& cfg,
+                                      PipelineResult& res) const override {
+    mpc::MultiRoundOptions opt;
+    opt.eps = cfg.eps;
+    opt.rounds = cfg.rounds;
+    auto out = mpc::multi_round_coreset(parts, cfg.k, cfg.z, cfg.metric(), opt);
+    res.coreset = std::move(out.coreset);
+    res.report.set("beta", static_cast<double>(out.beta));
+    res.report.set("eps_effective", out.eps_effective);
+    return out.stats;
+  }
+};
+
+class CeccarelloPipeline final : public MpcPipeline {
+ public:
+  [[nodiscard]] std::string name() const override { return "mpc-ceccarello"; }
+  [[nodiscard]] std::string description() const override {
+    return "Ceccarello et al. 1-round baseline (multiplicative z budget)";
+  }
+
+ protected:
+  [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
+                                      const Workload&,
+                                      const PipelineConfig& cfg,
+                                      PipelineResult& res) const override {
+    mpc::CeccarelloOptions opt;
+    opt.eps = cfg.eps;
+    auto out = mpc::ceccarello_coreset(parts, cfg.k, cfg.z, cfg.metric(), opt);
+    res.coreset = std::move(out.coreset);
+    res.report.set("merged_size", static_cast<double>(out.merged.size()));
+    res.report.set("tau", static_cast<double>(out.tau));
+    return out.stats;
+  }
+};
+
+class GuhaPipeline final : public MpcPipeline {
+ public:
+  [[nodiscard]] std::string name() const override { return "mpc-guha"; }
+  [[nodiscard]] std::string description() const override {
+    return "Guha et al. local-z aggregation baseline (ablation)";
+  }
+
+ protected:
+  [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
+                                      const Workload&,
+                                      const PipelineConfig& cfg,
+                                      PipelineResult& res) const override {
+    mpc::GuhaOptions opt;
+    opt.eps = cfg.eps;
+    auto out =
+        mpc::guha_local_z_coreset(parts, cfg.k, cfg.z, cfg.metric(), opt);
+    res.coreset = std::move(out.coreset);
+    res.report.set("merged_size", static_cast<double>(out.merged.size()));
+    return out.stats;
+  }
+};
+
+}  // namespace
+
+void register_mpc_pipelines(Registry& reg) {
+  reg.add("mpc-2round", [] { return std::make_unique<TwoRoundPipeline>(); });
+  reg.add("mpc-1round", [] { return std::make_unique<OneRoundPipeline>(); });
+  reg.add("mpc-rround", [] { return std::make_unique<MultiRoundPipeline>(); });
+  reg.add("mpc-ceccarello",
+          [] { return std::make_unique<CeccarelloPipeline>(); });
+  reg.add("mpc-guha", [] { return std::make_unique<GuhaPipeline>(); });
+}
+
+}  // namespace kc::engine

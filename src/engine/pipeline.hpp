@@ -1,0 +1,226 @@
+// The engine layer: one pipeline abstraction over every computation model.
+//
+// The paper's central claim is that a single coreset notion (Definition 1,
+// Lemmas 3–5) serves offline, MPC, insertion-only streaming, and fully
+// dynamic computation.  This layer makes that uniformity executable: every
+// algorithm in the repo — the paper's Algorithms 1/2/3/5/6/7 and the
+// Table-1 baselines (Ceccarello et al., Guha et al., McCutchen–Khuller,
+// the sliding-window structure) — is wrapped as a `Pipeline` that
+//
+//   1. consumes the same `Workload` (a planted instance plus derived
+//      arrival order / turnstile script),
+//   2. builds its summary under its own model's rules, and
+//   3. extracts a `Solution` and a `PipelineReport` with the quantities
+//      Table 1 compares: radius/quality, coreset size, storage words,
+//      rounds, communication, timings.
+//
+// Pipelines are registered by name in `kc::engine::registry()`
+// (registry.hpp); the `kcenter_cli` driver (tools/), the `bench_table1_*`
+// harnesses, and `tests/test_engine.cpp` all compose workloads × pipelines
+// through this one seam, so features like new metrics, sharded drivers, or
+// batched execution are added here once instead of per harness.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "geometry/grid.hpp"
+#include "mpc/partition.hpp"
+#include "stream/insertion_only.hpp"
+#include "util/jsonlog.hpp"
+#include "workload/generators.hpp"
+#include "workload/streams.hpp"
+
+namespace kc::engine {
+
+/// Everything a pipeline run is parameterized by: the shared problem
+/// parameters (k, z, ε, metric) plus the model-specific knobs.  Knobs a
+/// model does not use are ignored by its pipelines.
+struct PipelineConfig {
+  // Shared problem parameters.
+  int k = 3;
+  std::int64_t z = 16;
+  double eps = 0.5;
+  int dim = 2;
+  Norm norm = Norm::L2;
+  std::uint64_t seed = 1;  ///< sketch/randomized-pipeline seed
+
+  /// Extract a Solution from the summary at all (solve on the summary,
+  /// evaluate on ground truth).  Storage-shape-only consumers (e.g. the
+  /// T1-MPC z sweep) switch it off to skip the extraction tail entirely;
+  /// the result then carries only the summary and the report's storage /
+  /// communication fields.
+  bool with_extraction = true;
+
+  /// Also run the direct offline solve on the ground-truth set so the
+  /// report carries `radius_direct` and `quality`.  Costly on large
+  /// instances; harness rows that compare against a planted bracket
+  /// instead (e.g. McCutchen–Khuller in T1-STREAM) switch it off.
+  /// Direct solves on the workload's own `planted.points` are memoized in
+  /// the workload, so running many pipelines on one workload (the CLI's
+  /// `--pipeline all`) pays for it once.
+  bool with_direct_solve = true;
+
+  // MPC knobs.
+  int machines = 8;
+  mpc::PartitionKind partition = mpc::PartitionKind::EvenSorted;
+  std::uint64_t partition_seed = 1;
+  int rounds = 2;  ///< R for the R-round trade-off pipeline
+
+  // Streaming knobs.
+  stream::ThresholdPolicy policy = stream::ThresholdPolicy::Ours;
+  std::int64_t window = 0;  ///< sliding-window length W; 0 = whole stream
+
+  // Dynamic (turnstile) knobs.
+  std::int64_t delta = 256;  ///< universe side Δ of [Δ]^d
+  bool deterministic_recovery = false;
+
+  [[nodiscard]] Metric metric() const { return Metric{norm}; }
+};
+
+/// Memoized direct solves on a workload's planted points, shared by every
+/// pipeline run on that workload (not thread-safe; runs are sequential).
+struct DirectSolveCache {
+  struct Entry {
+    int k = 0;
+    std::int64_t z = 0;
+    Norm norm = Norm::L2;
+    double radius = 0.0;
+  };
+  std::vector<Entry> entries;
+};
+
+/// A concrete problem instance in the form every pipeline consumes: the
+/// planted points (with their certified optimum bracket) plus the derived
+/// views the sequential models need.  Build one with `make_workload` or
+/// fill the fields directly when a harness needs specific seeds.
+struct Workload {
+  PlantedInstance planted;
+
+  /// Arrival order for the streaming pipelines (indices into
+  /// `planted.points`); empty = input order.
+  std::vector<std::size_t> order;
+
+  /// Turnstile script for the dynamic pipeline.  Empty = insert the
+  /// discretized points in order (no deletions).
+  DynamicScript script;
+
+  /// Discretized view of `planted.points` on [Δ]^dim backing `script`.
+  /// Empty = the dynamic pipeline discretizes with the config's Δ itself.
+  std::vector<GridPoint> grid;
+
+  /// Shared across pipeline runs on this workload; see
+  /// `PipelineConfig::with_direct_solve`.
+  std::shared_ptr<DirectSolveCache> direct_cache =
+      std::make_shared<DirectSolveCache>();
+
+  [[nodiscard]] std::size_t n() const noexcept { return planted.points.size(); }
+};
+
+/// Standard workload: a planted instance with cfg's (k, z, dim, norm, seed)
+/// and a shuffled arrival order derived from cfg.seed.
+[[nodiscard]] Workload make_workload(std::size_t n, const PipelineConfig& cfg);
+
+/// What a pipeline run measured.  `words` is the model's headline storage
+/// metric (MPC: peak worker words; streaming: peak stored words; dynamic:
+/// sketch words; offline: coreset words); everything model-specific beyond
+/// the common fields lands in `extra` under stable keys (see each
+/// pipeline's description).
+struct PipelineReport {
+  std::string pipeline;
+  std::string model;  ///< "offline" | "mpc" | "stream" | "dynamic"
+  std::size_t n = 0;
+  int k = 0;
+  std::int64_t z = 0;
+  double eps = 0.0;
+
+  std::size_t coreset_size = 0;
+  std::size_t words = 0;
+  int rounds = 0;               ///< communication rounds (MPC pipelines)
+  std::size_t comm_words = 0;   ///< total communication volume (MPC)
+
+  double radius = 0.0;         ///< extracted centers evaluated on ground truth
+  double radius_direct = 0.0;  ///< direct solve on ground truth (if enabled)
+  double quality = 0.0;        ///< radius / radius_direct (1.0 when disabled)
+
+  double build_ms = 0.0;  ///< summary construction (the model's online part)
+  double solve_ms = 0.0;  ///< solve on the summary only (ground-truth
+                          ///< evaluation and the optional direct solve are
+                          ///< reported as "eval_ms" / "direct_ms" extras)
+
+  std::vector<std::pair<std::string, double>> extra;
+
+  void set(const std::string& key, double value);
+  [[nodiscard]] double get(const std::string& key, double def = 0.0) const;
+
+  /// Flattens the report into JSON fields (common fields + extras) for the
+  /// `engine_pipeline` trajectory records of kcenter_cli and the benches.
+  [[nodiscard]] std::vector<bench::JsonField> json_fields() const;
+};
+
+struct PipelineResult {
+  /// The summary the model shipped/maintained.  Empty for solution-only
+  /// baselines (McCutchen–Khuller keeps exact support points and answers
+  /// queries directly — the very cost the paper's coresets remove).
+  WeightedSet coreset;
+  /// Centers extracted from the summary, radius evaluated on the
+  /// pipeline's ground-truth set (the original points, the window
+  /// contents, or the discretized live set — see `Pipeline::run`).
+  Solution solution;
+  PipelineReport report;
+};
+
+/// Interface every computation model implements.  Pipelines are stateless;
+/// `run` is a pure function of (workload, config).
+class Pipeline {
+ public:
+  virtual ~Pipeline() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string model() const = 0;
+  [[nodiscard]] virtual std::string description() const = 0;
+
+  /// Whether the pipeline's summary preserves total weight (Definition 2).
+  /// False for the baselines that cap or drop weights (sliding-window
+  /// clamps alive counts at z+1; McCutchen–Khuller has no summary).
+  [[nodiscard]] virtual bool preserves_weight() const { return true; }
+
+  /// Generous certified bound on radius / opt for the extracted solution
+  /// (approximation factor × coreset slack, with headroom for the planted
+  /// bracket); tests assert `report.radius ≤ quality_bound() · opt_hi`.
+  [[nodiscard]] virtual double quality_bound() const { return 5.0; }
+
+  /// Runs the model end to end and fills coreset/solution/report.  The
+  /// common report fields (pipeline/model/n/k/z/eps) are stamped by
+  /// `execute`; implementations fill the measured ones.
+  [[nodiscard]] virtual PipelineResult run(const Workload& w,
+                                           const PipelineConfig& cfg) const = 0;
+
+  /// `run` + stamping of the identification fields.  Call this, not `run`.
+  [[nodiscard]] PipelineResult execute(const Workload& w,
+                                       const PipelineConfig& cfg) const;
+};
+
+/// Shared tail of every pipeline: solve k-center-with-outliers on the
+/// summary (Charikar greedy, the paper's "offline algorithm on the
+/// coreset"), evaluate the centers on `ground_truth`, and—when
+/// `cfg.with_direct_solve`—compare against the direct solve.  Fills
+/// solution, radius, radius_direct, quality, and solve_ms.  No-op on an
+/// empty summary or when `cfg.with_extraction` is off.  `w` is the
+/// workload the run consumes: direct solves are memoized in its cache
+/// when `ground_truth` is the workload's own planted point set.
+void extract_and_evaluate(PipelineResult& res, const WeightedSet& ground_truth,
+                          const PipelineConfig& cfg, const Workload& w);
+
+/// Variant for solution-only pipelines that already hold centers: evaluate
+/// them on `ground_truth` and fill radius/radius_direct/quality.
+void evaluate_centers(PipelineResult& res, PointSet centers,
+                      const WeightedSet& ground_truth,
+                      const PipelineConfig& cfg, const Workload& w);
+
+}  // namespace kc::engine

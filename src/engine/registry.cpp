@@ -1,0 +1,52 @@
+#include "engine/registry.hpp"
+
+#include "engine/builtin.hpp"
+#include "util/check.hpp"
+
+namespace kc::engine {
+
+void Registry::add(const std::string& name, Factory factory) {
+  KC_EXPECTS(!name.empty());
+  KC_EXPECTS(factory != nullptr);
+  const auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  static_cast<void>(it);
+  KC_EXPECTS(inserted && "pipeline name already registered");
+}
+
+bool Registry::contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::unique_ptr<Pipeline> Registry::make(const std::string& name) const {
+  const auto it = factories_.find(name);
+  KC_EXPECTS(it != factories_.end() && "unknown pipeline name");
+  auto pipeline = it->second();
+  KC_ENSURES(pipeline != nullptr);
+  return pipeline;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;  // std::map iterates in sorted order
+}
+
+Registry& registry() {
+  static Registry reg = [] {
+    Registry r;
+    register_offline_pipelines(r);
+    register_mpc_pipelines(r);
+    register_stream_pipelines(r);
+    register_dynamic_pipelines(r);
+    return r;
+  }();
+  return reg;
+}
+
+PipelineResult run(const std::string& name, const Workload& w,
+                   const PipelineConfig& cfg) {
+  return registry().make(name)->execute(w, cfg);
+}
+
+}  // namespace kc::engine

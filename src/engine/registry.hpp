@@ -1,0 +1,64 @@
+// String-keyed pipeline factory (the engine's composition seam).
+//
+// `registry()` is the process-wide registry, pre-populated with every
+// built-in pipeline (explicit registration — no static-initializer tricks,
+// which static libraries dead-strip):
+//
+//   offline          MBCConstruction (Alg. 1) + Charikar       [§2]
+//   mpc-2round       deterministic 2-round MPC (Alg. 2)        [§3, Thm 10]
+//   mpc-1round       randomized 1-round MPC (Alg. 6)           [§7.1, Thm 33]
+//   mpc-rround       R-round storage trade-off (Alg. 7)        [§7.2, Thm 35]
+//   mpc-ceccarello   1-round baseline, multiplicative z  [Ceccarello et al.]
+//   mpc-guha         local-z ablation baseline               [Guha et al.]
+//   stream-insertion insertion-only coreset (Alg. 3)           [§4.3, Thm 18]
+//   stream-mk        McCutchen–Khuller baseline (solution-only)
+//   stream-sliding   sliding-window structure (query-only summary) [§6]
+//   dynamic          fully dynamic sketch (Alg. 5)             [§5, Thm 21]
+//
+// Adding a pipeline = implement `Pipeline`, register it here (or from user
+// code via `registry().add`), and it is immediately runnable from
+// kcenter_cli, the bench harnesses, and tests/test_engine.cpp — which
+// iterates every registered name, so an unregistered or broken pipeline
+// fails CI.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/pipeline.hpp"
+
+namespace kc::engine {
+
+class Registry {
+ public:
+  using Factory = std::function<std::unique_ptr<Pipeline>()>;
+
+  /// Registers a factory under `name`.  Names are unique; re-registering
+  /// an existing name is a contract violation.
+  void add(const std::string& name, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Instantiates the pipeline registered under `name`; contract violation
+  /// for unknown names (use `contains` to probe).
+  [[nodiscard]] std::unique_ptr<Pipeline> make(const std::string& name) const;
+
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// The process-wide registry with all built-in pipelines registered.
+[[nodiscard]] Registry& registry();
+
+/// Convenience: instantiate `name` from the registry and execute it.
+[[nodiscard]] PipelineResult run(const std::string& name, const Workload& w,
+                                 const PipelineConfig& cfg);
+
+}  // namespace kc::engine

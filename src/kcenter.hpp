@@ -18,8 +18,9 @@
 //   mpc         MPC simulator and the one-/two-/multi-round algorithms
 //   sketch      F0 estimation and sparse recovery used by lower bounds
 //   stream      insertion-only and sliding-window streaming algorithms
-//   util        contracts, CSV, flags, RNG, stats, tables, timers
+//   util        contracts, CSV, flags, JSON log, RNG, stats, tables, timers
 //   workload    planted-instance generators and stream drivers
+//   engine      registry-backed pipeline layer unifying all four models
 
 #pragma once
 
@@ -27,6 +28,7 @@
 #include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/flags.hpp"
+#include "util/jsonlog.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -88,3 +90,9 @@
 // workload — reproducible instance generators and stream drivers.
 #include "workload/generators.hpp"
 #include "workload/streams.hpp"
+
+// engine — the registry-backed pipeline layer: every computation model
+// (offline, MPC, streaming, dynamic) behind one Workload → coreset →
+// Solution → PipelineReport interface, runnable by name.
+#include "engine/pipeline.hpp"
+#include "engine/registry.hpp"

@@ -1,0 +1,222 @@
+// Tests of the engine layer: every pipeline registered in
+// kc::engine::registry() must run by name on a small
+// clustered-with-outliers instance and produce a validated result — a
+// solution within its certified quality bound, and (for weight-preserving
+// summaries) the coreset sandwich of Definition 1 via core/verify.hpp.
+// Registering a broken pipeline, or adding a pipeline without registering
+// it (the catalogue test pins the expected names), fails here.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "core/cost.hpp"
+#include "core/solver.hpp"
+#include "core/verify.hpp"
+#include "engine/registry.hpp"
+#include "test_support.hpp"
+
+namespace kc::engine {
+namespace {
+
+/// One small clustered-with-outliers configuration shared by every
+/// pipeline (700 points, 3 clusters, 8 outliers, d=2).
+PipelineConfig small_config() {
+  PipelineConfig cfg;
+  cfg.k = 3;
+  cfg.z = 8;
+  cfg.eps = 0.5;
+  cfg.dim = 2;
+  cfg.seed = 4242;
+  cfg.machines = 6;
+  cfg.partition_seed = 17;
+  cfg.rounds = 2;
+  cfg.delta = 1 << 10;
+  return cfg;
+}
+
+constexpr std::size_t kSmallN = 700;
+
+class EnginePipelineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EnginePipelineTest, RunsByNameAndValidates) {
+  const std::string name = GetParam();
+  ASSERT_TRUE(registry().contains(name));
+  const auto pipeline = registry().make(name);
+  ASSERT_NE(pipeline, nullptr);
+  EXPECT_EQ(pipeline->name(), name);
+  EXPECT_FALSE(pipeline->description().empty());
+
+  const PipelineConfig cfg = small_config();
+  const Metric metric = cfg.metric();
+  const Workload w = make_workload(kSmallN, cfg);
+  const PipelineResult res = pipeline->execute(w, cfg);
+  const auto& r = res.report;
+
+  // Identification fields are stamped by execute().
+  EXPECT_EQ(r.pipeline, name);
+  EXPECT_EQ(r.model, pipeline->model());
+  EXPECT_EQ(r.n, kSmallN);
+  EXPECT_EQ(r.k, cfg.k);
+  EXPECT_EQ(r.z, cfg.z);
+  EXPECT_EQ(r.coreset_size, res.coreset.size());
+  EXPECT_GT(r.words, 0u);
+
+  // Every pipeline must extract a usable solution on this instance.
+  ASSERT_FALSE(res.solution.centers.empty());
+  EXPECT_LE(static_cast<int>(res.solution.centers.size()), cfg.k);
+  EXPECT_GT(r.radius, 0.0);
+
+  // Radius vs the direct solve on the pipeline's own ground-truth set
+  // (with_direct_solve is on by default), within the certified bound.
+  EXPECT_GT(r.radius_direct, 0.0);
+  EXPECT_LE(r.quality, pipeline->quality_bound());
+
+  // Radius vs the planted optimum bracket.  The dynamic pipeline evaluates
+  // in grid coordinates, where the planted bracket does not apply.
+  if (name != "dynamic") {
+    EXPECT_LE(r.radius, pipeline->quality_bound() * w.planted.opt_hi + 1e-9);
+  }
+
+  if (res.coreset.empty() || !pipeline->preserves_weight()) return;
+
+  // Definition-2 weight preservation: the summary accounts for every
+  // (unit-weight) input point.
+  EXPECT_EQ(total_weight(res.coreset), static_cast<std::int64_t>(kSmallN));
+
+  // Coreset sandwich (Definition 1(2) via core/verify.hpp): a solution
+  // feasible on the coreset, expanded by the covering slack, stays
+  // feasible on the original set.
+  if (name == "dynamic") {
+    // Grid space: cell centers displace live points by ≤ (√d/2)·cell_side.
+    const double cell_side = r.get("cell_side");
+    ASSERT_GT(cell_side, 0.0);
+    const double slack = std::sqrt(static_cast<double>(cfg.dim)) * cell_side;
+    WeightedSet live;
+    for (const auto& g : discretize(w.planted.points, cfg.delta))
+      live.push_back({g.to_point(), 1});
+    const Solution on_core =
+        solve_kcenter_outliers(res.coreset, cfg.k, cfg.z, metric);
+    EXPECT_TRUE(check_expansion_property(live, res.coreset, on_core.centers,
+                                         on_core.radius, slack, cfg.z,
+                                         metric));
+  } else {
+    // Composed coverings stay within a few ε of opt ≤ opt_hi (2ε+ε² for
+    // the 2-round recompression, (1+ε)^R−1 for R rounds, ε elsewhere);
+    // 4ε·opt_hi bounds them all at ε = 0.5, R = 2.
+    const double slack = 4.0 * cfg.eps * w.planted.opt_hi;
+    const Solution on_core =
+        solve_kcenter_outliers(res.coreset, cfg.k, cfg.z, metric);
+    EXPECT_TRUE(check_expansion_property(w.planted.points, res.coreset,
+                                         on_core.centers, on_core.radius,
+                                         slack, cfg.z, metric));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, EnginePipelineTest, ::testing::ValuesIn(registry().names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(EngineRegistry, CatalogueCoversEveryModel) {
+  // The full Table-1 cast must be registered; adding a pipeline to the
+  // engine without registering it (or renaming one silently) fails here.
+  const auto names = registry().names();
+  const std::set<std::string> expected{
+      "offline",        "mpc-2round",  "mpc-1round",       "mpc-rround",
+      "mpc-ceccarello", "mpc-guha",    "stream-insertion", "stream-mk",
+      "stream-sliding", "dynamic"};
+  for (const auto& name : expected)
+    EXPECT_TRUE(registry().contains(name)) << name;
+  EXPECT_GE(names.size(), expected.size());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+
+  std::set<std::string> models;
+  for (const auto& name : names) models.insert(registry().make(name)->model());
+  EXPECT_EQ(models,
+            (std::set<std::string>{"offline", "mpc", "stream", "dynamic"}));
+}
+
+TEST(EngineRegistry, UnknownNameIsAbsent) {
+  EXPECT_FALSE(registry().contains("no-such-pipeline"));
+}
+
+TEST(EngineWorkload, MakeWorkloadIsDeterministic) {
+  const PipelineConfig cfg = small_config();
+  const Workload a = make_workload(300, cfg);
+  const Workload b = make_workload(300, cfg);
+  ASSERT_EQ(a.n(), 300u);
+  ASSERT_EQ(a.order.size(), 300u);
+  EXPECT_EQ(a.order, b.order);
+  ASSERT_EQ(b.n(), a.n());
+  for (std::size_t i = 0; i < a.n(); ++i) {
+    EXPECT_EQ(a.planted.points[i].w, b.planted.points[i].w);
+    EXPECT_EQ(a.planted.points[i].p.coords().size(),
+              b.planted.points[i].p.coords().size());
+    for (int d = 0; d < cfg.dim; ++d)
+      EXPECT_DOUBLE_EQ(a.planted.points[i].p[d], b.planted.points[i].p[d]);
+  }
+}
+
+TEST(EngineReport, ExtraKeyValueRoundTrip) {
+  PipelineReport r;
+  EXPECT_DOUBLE_EQ(r.get("missing", -3.0), -3.0);
+  r.set("alpha", 1.5);
+  r.set("beta", 2.0);
+  r.set("alpha", 2.5);  // overwrite, no duplicate key
+  EXPECT_DOUBLE_EQ(r.get("alpha"), 2.5);
+  EXPECT_DOUBLE_EQ(r.get("beta"), 2.0);
+  EXPECT_EQ(r.extra.size(), 2u);
+  // json_fields carries the common fields plus both extras.
+  const auto fields = r.json_fields();
+  EXPECT_GE(fields.size(), 15u + 2u);
+}
+
+TEST(EngineConfig, ExtractionCanBeDisabled) {
+  // Storage-shape-only consumers skip the extraction tail entirely.
+  PipelineConfig cfg = small_config();
+  cfg.with_extraction = false;
+  const Workload w = make_workload(200, cfg);
+  const PipelineResult res = run("mpc-2round", w, cfg);
+  EXPECT_FALSE(res.coreset.empty());           // summary still built
+  EXPECT_TRUE(res.solution.centers.empty());   // …but nothing extracted
+  EXPECT_DOUBLE_EQ(res.report.radius, 0.0);
+  EXPECT_GT(res.report.words, 0u);
+}
+
+TEST(EngineWorkload, DirectSolveIsMemoizedAcrossRuns) {
+  // Two pipelines on one workload share the direct solve on the planted
+  // points (the CLI's --pipeline all path pays for it once).
+  PipelineConfig cfg = small_config();
+  const Workload w = make_workload(300, cfg);
+  const PipelineResult a = run("offline", w, cfg);
+  const PipelineResult b = run("mpc-2round", w, cfg);
+  EXPECT_GT(a.report.radius_direct, 0.0);
+  EXPECT_DOUBLE_EQ(a.report.radius_direct, b.report.radius_direct);
+  ASSERT_NE(w.direct_cache, nullptr);
+  EXPECT_EQ(w.direct_cache->entries.size(), 1u);
+  // The second run hit the cache: it never timed a direct solve.
+  EXPECT_DOUBLE_EQ(b.report.get("direct_ms", -1.0), -1.0);
+}
+
+TEST(EngineConfig, SameWorkloadDrivesDifferentMetrics) {
+  // The same instance runs under every built-in norm through the offline
+  // pipeline (the CLI's --norm path).
+  for (const Norm norm : {Norm::L2, Norm::L1, Norm::Linf}) {
+    PipelineConfig cfg = small_config();
+    cfg.norm = norm;
+    const Workload w = make_workload(200, cfg);
+    const PipelineResult res = run("offline", w, cfg);
+    EXPECT_GT(res.report.radius, 0.0) << cfg.metric().name();
+    EXPECT_FALSE(res.coreset.empty()) << cfg.metric().name();
+  }
+}
+
+}  // namespace
+}  // namespace kc::engine

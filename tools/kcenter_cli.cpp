@@ -1,0 +1,138 @@
+// kcenter_cli — the engine driver: run any registered pipeline (or all of
+// them) on a generated workload under any metric, and report the Table-1
+// quantities uniformly.  One JSON record per run with --json (the format
+// the repo's BENCH_engine.json trajectory and the CI engine-smoke artifact
+// use).
+//
+//   kcenter_cli --list
+//   kcenter_cli --pipeline mpc-2round --n 8192 --m 64 --partition adversarial
+//   kcenter_cli --pipeline all --n 4000 --k 3 --z 16 --eps 0.5 --norm linf
+//               --json engine.json --json-tag "$(git rev-parse --short HEAD)"
+//
+// Flags (defaults in brackets):
+//   --pipeline <name>|all [all]   registered pipeline name (see --list)
+//   --n/--k/--z/--eps/--dim       problem parameters [4000/3/16/0.5/2]
+//   --norm l2|l1|linf             metric [l2]
+//   --seed <s>                    instance + sketch seed [1]
+//   --m/--partition/--rounds      MPC knobs [8/adversarial/2]
+//   --policy ours|ceccarello      insertion-only threshold policy [ours]
+//   --window <W>                  sliding-window length (0 = whole stream)
+//   --delta <D>                   dynamic universe side [256]
+//   --det-recovery                dynamic: deterministic power-sum sketch
+//   --no-direct                   skip the direct solve (radius only)
+//   --json <path> --json-tag <t>  append one JSON record per pipeline run
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "kcenter.hpp"
+
+namespace {
+
+using namespace kc;
+
+Norm parse_norm(const std::string& name) {
+  if (name == "l1") return Norm::L1;
+  if (name == "linf") return Norm::Linf;
+  if (name != "l2")
+    std::fprintf(stderr, "warning: unknown norm '%s', using l2\n",
+                 name.c_str());
+  return Norm::L2;
+}
+
+mpc::PartitionKind parse_partition(const std::string& name) {
+  if (name == "random") return mpc::PartitionKind::Random;
+  if (name == "roundrobin") return mpc::PartitionKind::RoundRobin;
+  if (name != "adversarial")
+    std::fprintf(stderr, "warning: unknown partition '%s', using adversarial\n",
+                 name.c_str());
+  return mpc::PartitionKind::EvenSorted;
+}
+
+void print_catalogue() {
+  std::printf("registered pipelines (kc::engine::registry()):\n\n");
+  Table table({"name", "model", "description"});
+  for (const auto& name : engine::registry().names()) {
+    const auto pipeline = engine::registry().make(name);
+    table.add_row({name, pipeline->model(), pipeline->description()});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.has("list")) {
+    print_catalogue();
+    return 0;
+  }
+
+  engine::PipelineConfig cfg;
+  cfg.k = static_cast<int>(flags.get_int("k", 3));
+  cfg.z = flags.get_int("z", 16);
+  cfg.eps = flags.get_double("eps", 0.5);
+  cfg.dim = static_cast<int>(flags.get_int("dim", 2));
+  cfg.norm = parse_norm(flags.get_string("norm", "l2"));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  cfg.with_direct_solve = !flags.has("no-direct");
+  cfg.machines = static_cast<int>(flags.get_int("m", 8));
+  cfg.partition = parse_partition(flags.get_string("partition", "adversarial"));
+  cfg.partition_seed = cfg.seed;
+  cfg.rounds = static_cast<int>(flags.get_int("rounds", 2));
+  cfg.policy = flags.get_string("policy", "ours") == "ceccarello"
+                   ? stream::ThresholdPolicy::Ceccarello
+                   : stream::ThresholdPolicy::Ours;
+  cfg.window = flags.get_int("window", 0);
+  cfg.delta = flags.get_int("delta", 256);
+  cfg.deterministic_recovery = flags.has("det-recovery");
+
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 4000));
+  const std::string which = flags.get_string("pipeline", "all");
+  std::vector<std::string> names;
+  if (which == "all") {
+    names = engine::registry().names();
+  } else if (engine::registry().contains(which)) {
+    names.push_back(which);
+  } else {
+    std::fprintf(stderr, "error: unknown pipeline '%s'; --list shows the "
+                         "catalogue\n", which.c_str());
+    return 1;
+  }
+
+  const bench::JsonLog json = bench::JsonLog::from_flags(flags);
+  const engine::Workload workload = engine::make_workload(n, cfg);
+
+  std::printf("kcenter_cli: n=%zu k=%d z=%lld eps=%g dim=%d norm=%s seed=%llu "
+              "(planted opt in [%.4f, %.4f])\n\n",
+              n, cfg.k, static_cast<long long>(cfg.z), cfg.eps, cfg.dim,
+              cfg.metric().name(),
+              static_cast<unsigned long long>(cfg.seed),
+              workload.planted.opt_lo, workload.planted.opt_hi);
+
+  Table table({"pipeline", "model", "coreset", "words", "rounds", "comm",
+               "radius", "quality", "build ms", "solve ms"});
+  bool any_grid_space = false;
+  for (const auto& name : names) {
+    const auto res = engine::run(name, workload, cfg);
+    const auto& r = res.report;
+    const bool grid_space = r.get("grid_space") > 0;
+    any_grid_space = any_grid_space || grid_space;
+    table.add_row({r.pipeline, r.model,
+                   fmt_count(static_cast<long long>(r.coreset_size)),
+                   fmt_count(static_cast<long long>(r.words)),
+                   std::to_string(r.rounds),
+                   fmt_count(static_cast<long long>(r.comm_words)),
+                   fmt(r.radius, 4) + (grid_space ? "*" : ""),
+                   cfg.with_direct_solve ? fmt(r.quality, 3) : "-",
+                   fmt(r.build_ms, 1), fmt(r.solve_ms, 1)});
+    json.record("engine_pipeline", r.json_fields());
+  }
+  table.print();
+  if (any_grid_space)
+    std::printf("\n  * radius in discretized [Delta]^d coordinates (scale "
+                "set by --delta); compare via the scale-free quality "
+                "column, not across rows.\n");
+  return 0;
+}
