@@ -26,7 +26,7 @@ constexpr std::size_t kGridMinPoints = 32;
 // reference's O(k·n²).
 template <Norm N>
 CharikarRun charikar_run_grid(const WeightedSet& pts, int k, std::int64_t z,
-                              double r) {
+                              double r, ThreadPool* pool) {
   CharikarRun out;
   const std::size_t n = pts.size();
   const int dim = pts.front().p.dim();
@@ -47,18 +47,28 @@ CharikarRun charikar_run_grid(const WeightedSet& pts, int k, std::int64_t z,
     grid.insert(pts[i].p, static_cast<std::uint32_t>(i));
   const int reach3 = grid.reach_for(r3);
 
-  // Initial candidate ball weights (nothing covered yet).
+  // Initial candidate ball weights (nothing covered yet).  This is the
+  // O(Σ|ball_r|) bulk of the pass; each point's count is independent and
+  // writes only cand[i], so the range fans out over the pool (deterministic
+  // chunks, disjoint writes — bit-identical at every thread count).
   std::vector<std::int64_t> cand(n, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* q = pts[i].p.coords().data();
-    std::int64_t sum = 0;
-    grid.for_each_candidate(q, 1, [&](std::span<const std::uint32_t> cell) {
-      sum += kernels::count_within<N>(buf, cell.data(), cell.size(), q, r_key,
-                                      w.data(), nullptr);
-    });
-    cand[i] = sum;
-  }
+  const auto init_cand = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const double* q = pts[i].p.coords().data();
+      std::int64_t sum = 0;
+      grid.for_each_candidate(q, 1, [&](std::span<const std::uint32_t> cell) {
+        sum += kernels::count_within<N>(buf, cell.data(), cell.size(), q,
+                                        r_key, w.data(), nullptr);
+      });
+      cand[i] = sum;
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1)
+    pool->parallel_for(n, /*grain=*/256, init_cand);
+  else
+    init_cand(0, n);
 
+  std::vector<std::uint32_t> ball;  // flattened 3r-ball candidates, reused
   for (int t = 0; t < k && uncovered_w > z; ++t) {
     // argmax over cand, first max wins — identical tie-breaking to the
     // reference's per-round rescan.
@@ -73,23 +83,30 @@ CharikarRun charikar_run_grid(const WeightedSet& pts, int k, std::int64_t z,
     out.centers.push_back(pts[best_i].p);
     // Remove everything inside the expanded ball b(best_i, 3r), paying the
     // candidate-weight decrements for each newly covered point as we go.
+    // The (2·reach3+1)^d neighbor cells are flattened into one candidate
+    // list (concatenation preserves cell enumeration order, and the grid
+    // never repeats an index) so the distance filter fans out over the
+    // whole ball; the mutation applies serially in that same order.
     const double* qc = pts[best_i].p.coords().data();
-    std::int64_t removed = 0;
-    grid.for_each_candidate(qc, reach3, [&](std::span<const std::uint32_t>
-                                                cell) {
-      removed += kernels::mark_within<N>(
-          buf, cell.data(), cell.size(), qc, r3_key, w.data(), covered.data(),
-          [&](std::uint32_t j) {
-            const double* qj = pts[j].p.coords().data();
-            const std::int64_t wj = w[j];
-            grid.for_each_candidate(
-                qj, 1, [&](std::span<const std::uint32_t> inner) {
-                  for (const std::uint32_t i : inner) {
-                    if (buf.key_to<N>(i, qj) <= r_key) cand[i] -= wj;
-                  }
-                });
-          });
-    });
+    ball.clear();
+    grid.for_each_candidate(qc, reach3,
+                            [&](std::span<const std::uint32_t> cell) {
+                              ball.insert(ball.end(), cell.begin(),
+                                          cell.end());
+                            });
+    const std::int64_t removed = kernels::mark_within_parallel<N>(
+        buf, ball.data(), ball.size(), qc, r3_key, w.data(), covered.data(),
+        [&](std::uint32_t j) {
+          const double* qj = pts[j].p.coords().data();
+          const std::int64_t wj = w[j];
+          grid.for_each_candidate(
+              qj, 1, [&](std::span<const std::uint32_t> inner) {
+                for (const std::uint32_t i : inner) {
+                  if (buf.key_to<N>(i, qj) <= r_key) cand[i] -= wj;
+                }
+              });
+        },
+        pool);
     uncovered_w -= removed;
   }
   out.uncovered = uncovered_w;
@@ -144,15 +161,15 @@ CharikarRun charikar_run_scalar(const WeightedSet& pts, int k, std::int64_t z,
 }
 
 CharikarRun charikar_run(const WeightedSet& pts, int k, std::int64_t z,
-                         double r, const Metric& metric) {
+                         double r, const Metric& metric, ThreadPool* pool) {
   KC_EXPECTS(k >= 1);
   if (metric.norm() == Norm::Custom || r <= 0.0 ||
       pts.size() < kGridMinPoints)
     return charikar_run_scalar(pts, k, z, r, metric);
   switch (metric.norm()) {
-    case Norm::L2: return charikar_run_grid<Norm::L2>(pts, k, z, r);
-    case Norm::Linf: return charikar_run_grid<Norm::Linf>(pts, k, z, r);
-    case Norm::L1: return charikar_run_grid<Norm::L1>(pts, k, z, r);
+    case Norm::L2: return charikar_run_grid<Norm::L2>(pts, k, z, r, pool);
+    case Norm::Linf: return charikar_run_grid<Norm::Linf>(pts, k, z, r, pool);
+    case Norm::L1: return charikar_run_grid<Norm::L1>(pts, k, z, r, pool);
     case Norm::Custom: break;  // handled above
   }
   return charikar_run_scalar(pts, k, z, r, metric);  // unreachable
@@ -193,14 +210,16 @@ CharikarResult charikar_oracle(const WeightedSet& pts, int k, std::int64_t z,
   const double growth = 1.0 + opt.beta;
   auto candidate = [&](int j) { return hi / std::pow(growth, j); };
 
-  CharikarRun best_run = charikar_run(pts, k, z, candidate(0), metric);
+  CharikarRun best_run = charikar_run(pts, k, z, candidate(0), metric,
+                                      opt.pool);
   KC_ENSURES(best_run.success);  // r = hi ≥ opt always succeeds
   int best_j = 0;
 
   int lo_j = 0, hi_j = opt.max_ladder;
   while (lo_j < hi_j) {
     const int mid = lo_j + (hi_j - lo_j + 1) / 2;
-    CharikarRun run = charikar_run(pts, k, z, candidate(mid), metric);
+    CharikarRun run = charikar_run(pts, k, z, candidate(mid), metric,
+                                   opt.pool);
     if (run.success) {
       lo_j = mid;
       best_run = std::move(run);

@@ -33,6 +33,8 @@
 
 namespace kc {
 
+class ThreadPool;  // util/parallel.hpp
+
 struct CharikarRun {
   PointSet centers;       ///< ≤ k greedy centers (disk centers, radius 3r)
   std::int64_t uncovered = 0;  ///< weight left uncovered by the expanded balls
@@ -45,10 +47,13 @@ struct CharikarRun {
 /// covered, so the per-round cost is O(n) plus the (one-time) total size of
 /// the r-balls touched, instead of the O(n²) rescan per round of the
 /// reference below.  Results are bit-identical to the reference (pinned by
-/// tests/test_kernels.cpp).
+/// tests/test_kernels.cpp).  `pool` (optional) fans the initial
+/// candidate-weight pass out over deterministic chunks — same results at
+/// every thread count.
 [[nodiscard]] CharikarRun charikar_run(const WeightedSet& pts, int k,
                                        std::int64_t z, double r,
-                                       const Metric& metric);
+                                       const Metric& metric,
+                                       ThreadPool* pool = nullptr);
 
 /// Reference implementation of `charikar_run`: the plain O(k · n²) rescan.
 /// Fallback for custom metrics and degenerate radii, and the ground truth
@@ -66,6 +71,7 @@ struct CharikarResult {
 struct CharikarOptions {
   double beta = 0.25;    ///< ladder density; ρ grows with (1+β)
   int max_ladder = 96;   ///< ladder length cap (range 2^{-max_ladder}·hi .. hi)
+  ThreadPool* pool = nullptr;  ///< forwarded to every charikar_run (not owned)
 };
 
 /// Full oracle: ladder construction + binary search for the smallest

@@ -36,7 +36,8 @@ GonzalezResult run_traversal(const WeightedSet& pts, int max_centers,
 }  // namespace
 
 GonzalezResult gonzalez(const WeightedSet& pts, int max_centers,
-                        const Metric& metric, double stop_radius) {
+                        const Metric& metric, double stop_radius,
+                        ThreadPool* pool) {
   KC_EXPECTS(max_centers >= 1);
   if (pts.empty()) return {};
   const std::size_t n = pts.size();
@@ -71,9 +72,9 @@ GonzalezResult gonzalez(const WeightedSet& pts, int max_centers,
     return run_traversal(pts, max_centers, metric, stop_radius,
                          [&](const Point& c, std::uint32_t label,
                              std::vector<std::uint32_t>& assign) {
-                           return kernels::relax_min_keys<N>(
+                           return kernels::relax_min_keys_parallel<N>(
                                buf, c.coords().data(), label, key.data(),
-                               assign.data(), scratch.data());
+                               assign.data(), scratch.data(), pool);
                          });
   };
   switch (metric.norm()) {

@@ -22,6 +22,8 @@
 
 namespace kc {
 
+class ThreadPool;  // util/parallel.hpp
+
 struct GonzalezResult {
   /// Indices into the input set, in selection order.
   std::vector<std::size_t> center_indices;
@@ -41,10 +43,14 @@ struct GonzalezResult {
 
 /// Runs the traversal until `max_centers` centers are selected or the
 /// covering radius drops to ≤ `stop_radius` (pass 0 to disable the radius
-/// stop).  O(n · #centers) time, O(n) extra space.
+/// stop).  O(n · #centers) time, O(n) extra space.  `pool` (optional) runs
+/// the relaxation sweeps through the chunk-parallel kernel for large n —
+/// selected centers and assignments are bit-identical at every thread
+/// count (ordered first-max-wins reduction).
 [[nodiscard]] GonzalezResult gonzalez(const WeightedSet& pts, int max_centers,
                                       const Metric& metric,
-                                      double stop_radius = 0.0);
+                                      double stop_radius = 0.0,
+                                      ThreadPool* pool = nullptr);
 
 /// Weighted summary induced by a traversal: one point per center, weight =
 /// total weight of the points assigned to it.  Every input point is within

@@ -19,28 +19,31 @@ std::int64_t summary_center_budget(int k, std::int64_t z, double gamma,
 namespace {
 
 RadiusEstimate charikar_estimate(const WeightedSet& pts, int k, std::int64_t z,
-                                 const Metric& metric, double beta) {
+                                 const Metric& metric, double beta,
+                                 ThreadPool* pool) {
   CharikarOptions copt;
   copt.beta = beta;
+  copt.pool = pool;
   const CharikarResult res = charikar_oracle(pts, k, z, metric, copt);
   return {res.radius, 3.0 * (1.0 + beta)};
 }
 
 RadiusEstimate summary_estimate(const WeightedSet& pts, int k, std::int64_t z,
                                 const Metric& metric, double gamma,
-                                double beta) {
+                                double beta, ThreadPool* pool) {
   if (pts.empty()) return {0.0, 1.0};
   const int dim = pts.front().p.dim();
   const std::int64_t tau = summary_center_budget(k, z, gamma, dim);
   if (static_cast<std::int64_t>(pts.size()) <= tau) {
     // Summary would be the whole input: fall back to Charikar directly.
-    return charikar_estimate(pts, k, z, metric, beta);
+    return charikar_estimate(pts, k, z, metric, beta, pool);
   }
   const GonzalezResult g =
-      gonzalez(pts, static_cast<int>(tau), metric, /*stop_radius=*/0.0);
+      gonzalez(pts, static_cast<int>(tau), metric, /*stop_radius=*/0.0, pool);
   const double delta = g.delta.back();  // ≤ γ·opt by the packing bound
   const WeightedSet summary = gonzalez_summary(pts, g);
-  const RadiusEstimate rs = charikar_estimate(summary, k, z, metric, beta);
+  const RadiusEstimate rs =
+      charikar_estimate(summary, k, z, metric, beta, pool);
   // opt(P) ≤ opt(S) + δ ≤ r_S + δ, and
   // r_S + δ ≤ ρ_C·opt(S) + δ ≤ ρ_C(opt+δ) + δ ≤ (ρ_C(1+γ) + γ)·opt.
   const double rho = rs.rho * (1.0 + gamma) + gamma;
@@ -53,13 +56,15 @@ RadiusEstimate estimate_radius(const WeightedSet& pts, int k, std::int64_t z,
                                const Metric& metric, const OracleOptions& opt) {
   switch (opt.kind) {
     case OracleKind::Charikar:
-      return charikar_estimate(pts, k, z, metric, opt.beta);
+      return charikar_estimate(pts, k, z, metric, opt.beta, opt.pool);
     case OracleKind::Summary:
-      return summary_estimate(pts, k, z, metric, opt.gamma, opt.beta);
+      return summary_estimate(pts, k, z, metric, opt.gamma, opt.beta,
+                              opt.pool);
     case OracleKind::Auto:
       if (pts.size() > opt.auto_threshold)
-        return summary_estimate(pts, k, z, metric, opt.gamma, opt.beta);
-      return charikar_estimate(pts, k, z, metric, opt.beta);
+        return summary_estimate(pts, k, z, metric, opt.gamma, opt.beta,
+                                opt.pool);
+      return charikar_estimate(pts, k, z, metric, opt.beta, opt.pool);
   }
   return {0.0, 1.0};  // unreachable
 }

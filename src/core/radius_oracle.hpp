@@ -32,6 +32,8 @@
 
 namespace kc {
 
+class ThreadPool;  // util/parallel.hpp
+
 struct RadiusEstimate {
   double radius = 0.0;  ///< estimate r with opt ≤ r ≤ rho·opt
   double rho = 1.0;     ///< stated approximation factor of `radius`
@@ -44,6 +46,8 @@ struct OracleOptions {
   double beta = 0.25;      ///< Charikar ladder density
   double gamma = 0.5;      ///< Summary oracle target δ/opt ratio
   std::size_t auto_threshold = 600;  ///< Auto: input size above which Summary is used
+  ThreadPool* pool = nullptr;  ///< chunk-parallel batch kernels (not owned);
+                               ///< results are bit-identical with or without
 };
 
 /// Computes a two-sided estimate of optk,z(pts).

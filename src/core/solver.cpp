@@ -16,6 +16,7 @@ Solution solve_kcenter_outliers(const WeightedSet& pts, int k, std::int64_t z,
   KC_EXPECTS(!pts.empty());
   CharikarOptions copt;
   copt.beta = oracle.beta;
+  copt.pool = oracle.pool;
 
   // The Charikar greedy is O(ladder · k · n²); above the threshold we first
   // compress with a Gonzalez summary (covering radius ≤ γ·opt by the
@@ -27,7 +28,8 @@ Solution solve_kcenter_outliers(const WeightedSet& pts, int k, std::int64_t z,
     const int dim = pts.front().p.dim();
     const std::int64_t tau = summary_center_budget(k, z, oracle.gamma, dim);
     if (static_cast<std::int64_t>(pts.size()) > tau) {
-      const GonzalezResult g = gonzalez(pts, static_cast<int>(tau), metric);
+      const GonzalezResult g = gonzalez(pts, static_cast<int>(tau), metric,
+                                        /*stop_radius=*/0.0, oracle.pool);
       summary = gonzalez_summary(pts, g);
       work = &summary;
     }

@@ -19,6 +19,7 @@
 #include "mpc/partition.hpp"
 #include "mpc/simulator.hpp"
 #include "mpc/two_round.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace kc::engine {
@@ -34,16 +35,23 @@ class MpcPipeline : public Pipeline {
     const auto parts = mpc::partition_points(
         w.planted.points, cfg.machines, partition_kind(cfg),
         cfg.partition_seed);
+    // One pool per run: the simulator fans the per-machine map phase out
+    // over it, and the extraction tail reuses it for the batch kernels.
+    // Outputs are bit-identical for every cfg.num_threads (the registered
+    // pipelines are swept over thread counts in tests/test_parallel.cpp).
+    ThreadPool pool(cfg.num_threads);
     PipelineResult res;
     Timer timer;
-    const mpc::MpcStats stats = run_mpc(parts, w, cfg, res);
+    const mpc::MpcStats stats = run_mpc(parts, w, cfg, res, &pool);
     res.report.build_ms = timer.millis();
     res.report.rounds = stats.rounds;
     res.report.words = stats.max_worker_words();
     res.report.comm_words = stats.total_comm_words;
     res.report.set("coord_words",
                    static_cast<double>(stats.coordinator_words()));
-    extract_and_evaluate(res, w.planted.points, cfg, w);
+    res.report.set("threads", static_cast<double>(stats.threads));
+    res.report.set("map_ms", stats.map_ms);
+    extract_and_evaluate(res, w.planted.points, cfg, w, &pool);
     return res;
   }
 
@@ -56,10 +64,11 @@ class MpcPipeline : public Pipeline {
   }
 
   /// Runs the algorithm, fills `res.coreset` + algorithm-specific extras,
-  /// and returns the simulator stats.
+  /// and returns the simulator stats.  `pool` drives the map phase.
   [[nodiscard]] virtual mpc::MpcStats run_mpc(
       const std::vector<WeightedSet>& parts, const Workload& w,
-      const PipelineConfig& cfg, PipelineResult& res) const = 0;
+      const PipelineConfig& cfg, PipelineResult& res,
+      ThreadPool* pool) const = 0;
 };
 
 class TwoRoundPipeline final : public MpcPipeline {
@@ -73,9 +82,11 @@ class TwoRoundPipeline final : public MpcPipeline {
   [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
                                       const Workload&,
                                       const PipelineConfig& cfg,
-                                      PipelineResult& res) const override {
+                                      PipelineResult& res,
+                                      ThreadPool* pool) const override {
     mpc::TwoRoundOptions opt;
     opt.eps = cfg.eps;
+    opt.pool = pool;
     auto out = mpc::two_round_coreset(parts, cfg.k, cfg.z, cfg.metric(), opt);
     res.coreset = std::move(out.coreset);
     res.report.set("merged_size", static_cast<double>(out.merged.size()));
@@ -103,9 +114,11 @@ class OneRoundPipeline final : public MpcPipeline {
   [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
                                       const Workload& w,
                                       const PipelineConfig& cfg,
-                                      PipelineResult& res) const override {
+                                      PipelineResult& res,
+                                      ThreadPool* pool) const override {
     mpc::OneRoundOptions opt;
     opt.eps = cfg.eps;
+    opt.pool = pool;
     auto out = mpc::one_round_coreset(parts, cfg.k, cfg.z, w.n(), cfg.metric(),
                                       opt);
     res.coreset = std::move(out.coreset);
@@ -130,10 +143,12 @@ class MultiRoundPipeline final : public MpcPipeline {
   [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
                                       const Workload&,
                                       const PipelineConfig& cfg,
-                                      PipelineResult& res) const override {
+                                      PipelineResult& res,
+                                      ThreadPool* pool) const override {
     mpc::MultiRoundOptions opt;
     opt.eps = cfg.eps;
     opt.rounds = cfg.rounds;
+    opt.pool = pool;
     auto out = mpc::multi_round_coreset(parts, cfg.k, cfg.z, cfg.metric(), opt);
     res.coreset = std::move(out.coreset);
     res.report.set("beta", static_cast<double>(out.beta));
@@ -153,9 +168,11 @@ class CeccarelloPipeline final : public MpcPipeline {
   [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
                                       const Workload&,
                                       const PipelineConfig& cfg,
-                                      PipelineResult& res) const override {
+                                      PipelineResult& res,
+                                      ThreadPool* pool) const override {
     mpc::CeccarelloOptions opt;
     opt.eps = cfg.eps;
+    opt.pool = pool;
     auto out = mpc::ceccarello_coreset(parts, cfg.k, cfg.z, cfg.metric(), opt);
     res.coreset = std::move(out.coreset);
     res.report.set("merged_size", static_cast<double>(out.merged.size()));
@@ -175,9 +192,11 @@ class GuhaPipeline final : public MpcPipeline {
   [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
                                       const Workload&,
                                       const PipelineConfig& cfg,
-                                      PipelineResult& res) const override {
+                                      PipelineResult& res,
+                                      ThreadPool* pool) const override {
     mpc::GuhaOptions opt;
     opt.eps = cfg.eps;
+    opt.pool = pool;
     auto out =
         mpc::guha_local_z_coreset(parts, cfg.k, cfg.z, cfg.metric(), opt);
     res.coreset = std::move(out.coreset);

@@ -7,6 +7,7 @@
 #include "core/mbc.hpp"
 #include "engine/builtin.hpp"
 #include "engine/registry.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace kc::engine {
@@ -24,17 +25,21 @@ class OfflinePipeline final : public Pipeline {
   [[nodiscard]] PipelineResult run(const Workload& w,
                                    const PipelineConfig& cfg) const override {
     const Metric metric = cfg.metric();
+    ThreadPool pool(cfg.num_threads);
+    OracleOptions oracle;
+    oracle.pool = &pool;
     PipelineResult res;
     Timer timer;
     const MiniBallCovering mbc =
-        mbc_construct(w.planted.points, cfg.k, cfg.z, cfg.eps, metric);
+        mbc_construct(w.planted.points, cfg.k, cfg.z, cfg.eps, metric, oracle);
     res.report.build_ms = timer.millis();
     res.coreset = mbc.reps;
     res.report.words =
         res.coreset.size() * static_cast<std::size_t>(cfg.dim + 1);
     res.report.set("cover_radius", mbc.cover_radius);
     res.report.set("oracle_radius", mbc.oracle_radius);
-    extract_and_evaluate(res, w.planted.points, cfg, w);
+    res.report.set("threads", static_cast<double>(pool.num_threads()));
+    extract_and_evaluate(res, w.planted.points, cfg, w, &pool);
     return res;
   }
 };

@@ -2,6 +2,7 @@
 
 #include "core/cost.hpp"
 #include "core/solver.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace kc::engine {
@@ -79,7 +80,7 @@ namespace {
 /// pays for the most expensive step once).
 double direct_radius(const WeightedSet& ground_truth,
                      const PipelineConfig& cfg, const Workload& w,
-                     PipelineReport& report) {
+                     PipelineReport& report, ThreadPool* pool) {
   const bool cacheable =
       &ground_truth == &w.planted.points && w.direct_cache != nullptr;
   if (cacheable) {
@@ -87,8 +88,10 @@ double direct_radius(const WeightedSet& ground_truth,
       if (e.k == cfg.k && e.z == cfg.z && e.norm == cfg.norm) return e.radius;
   }
   Timer timer;
+  OracleOptions oracle;
+  oracle.pool = pool;
   const Solution direct =
-      solve_kcenter_outliers(ground_truth, cfg.k, cfg.z, cfg.metric());
+      solve_kcenter_outliers(ground_truth, cfg.k, cfg.z, cfg.metric(), oracle);
   report.set("direct_ms", timer.millis());
   if (cacheable)
     w.direct_cache->entries.push_back({cfg.k, cfg.z, cfg.norm, direct.radius});
@@ -98,19 +101,24 @@ double direct_radius(const WeightedSet& ground_truth,
 }  // namespace
 
 void extract_and_evaluate(PipelineResult& res, const WeightedSet& ground_truth,
-                          const PipelineConfig& cfg, const Workload& w) {
+                          const PipelineConfig& cfg, const Workload& w,
+                          ThreadPool* pool) {
   if (!cfg.with_extraction || res.coreset.empty()) return;
   const Metric metric = cfg.metric();
   Timer timer;
-  const Solution via = solve_kcenter_outliers(res.coreset, cfg.k, cfg.z, metric);
+  OracleOptions oracle;
+  oracle.pool = pool;
+  const Solution via =
+      solve_kcenter_outliers(res.coreset, cfg.k, cfg.z, metric, oracle);
   const double small_ms = timer.millis();
-  evaluate_centers(res, via.centers, ground_truth, cfg, w);
+  evaluate_centers(res, via.centers, ground_truth, cfg, w, pool);
   res.report.solve_ms += small_ms;
 }
 
 void evaluate_centers(PipelineResult& res, PointSet centers,
                       const WeightedSet& ground_truth,
-                      const PipelineConfig& cfg, const Workload& w) {
+                      const PipelineConfig& cfg, const Workload& w,
+                      ThreadPool* pool) {
   const Metric metric = cfg.metric();
   Timer timer;
   const double on_full =
@@ -119,7 +127,8 @@ void evaluate_centers(PipelineResult& res, PointSet centers,
   res.solution = Solution{std::move(centers), on_full};
   res.report.radius = on_full;
   if (cfg.with_direct_solve) {
-    const double direct = direct_radius(ground_truth, cfg, w, res.report);
+    const double direct =
+        direct_radius(ground_truth, cfg, w, res.report, pool);
     res.report.radius_direct = direct;
     // Same guard as the QUALITY benches: degenerate direct radius → 1.0.
     res.report.quality = direct > 0 ? on_full / direct : 1.0;

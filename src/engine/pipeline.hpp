@@ -36,6 +36,10 @@
 #include "workload/generators.hpp"
 #include "workload/streams.hpp"
 
+namespace kc {
+class ThreadPool;  // util/parallel.hpp
+}
+
 namespace kc::engine {
 
 /// Everything a pipeline run is parameterized by: the shared problem
@@ -49,6 +53,13 @@ struct PipelineConfig {
   int dim = 2;
   Norm norm = Norm::L2;
   std::uint64_t seed = 1;  ///< sketch/randomized-pipeline seed
+
+  /// Thread-pool size for the fan-out paths (the MPC per-machine map phase
+  /// and the chunk-parallel batch kernels of the extraction tail).  1 =
+  /// sequential (the default), 0 = hardware_concurrency.  Reports are
+  /// bit-identical for every value — threading only changes wall time
+  /// (pinned by tests/test_parallel.cpp).
+  int num_threads = 1;
 
   /// Extract a Solution from the summary at all (solve on the summary,
   /// evaluate on ground truth).  Storage-shape-only consumers (e.g. the
@@ -213,14 +224,18 @@ class Pipeline {
 /// solution, radius, radius_direct, quality, and solve_ms.  No-op on an
 /// empty summary or when `cfg.with_extraction` is off.  `w` is the
 /// workload the run consumes: direct solves are memoized in its cache
-/// when `ground_truth` is the workload's own planted point set.
+/// when `ground_truth` is the workload's own planted point set.  `pool`
+/// (optional) runs the solver's batch kernels chunk-parallel — results
+/// are bit-identical with or without it.
 void extract_and_evaluate(PipelineResult& res, const WeightedSet& ground_truth,
-                          const PipelineConfig& cfg, const Workload& w);
+                          const PipelineConfig& cfg, const Workload& w,
+                          ThreadPool* pool = nullptr);
 
 /// Variant for solution-only pipelines that already hold centers: evaluate
 /// them on `ground_truth` and fill radius/radius_direct/quality.
 void evaluate_centers(PipelineResult& res, PointSet centers,
                       const WeightedSet& ground_truth,
-                      const PipelineConfig& cfg, const Workload& w);
+                      const PipelineConfig& cfg, const Workload& w,
+                      ThreadPool* pool = nullptr);
 
 }  // namespace kc::engine

@@ -18,15 +18,23 @@
 // `Norm::Custom` is deliberately outside this layer: a user-supplied
 // distance function cannot be inlined or bucketed, so callers must keep a
 // scalar fallback (they all do).
+//
+// The `_parallel` variants split the scanned range into the deterministic
+// chunks of `kc::ThreadPool` and reduce the per-chunk partials in ascending
+// chunk order, so their results are bit-identical to the scalar kernels at
+// every thread count (pinned by tests/test_parallel.cpp).  Pass a null pool
+// (or one with a single thread) to get the scalar kernel unchanged.
 
 #pragma once
 
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "geometry/point.hpp"
+#include "util/parallel.hpp"
 
 namespace kc {
 
@@ -166,6 +174,34 @@ class PointBuffer {
   int dim_ = 0;
 };
 
+/// `compute_keys` restricted to the index range [begin, end).  Per-point
+/// accumulation is dimension-ascending regardless of the range split, so
+/// out[i] == key_to<N>(i, q) for every i in the range.
+template <Norm N>
+inline void compute_keys_range(const PointBuffer& buf, const double* q,
+                               double* out, std::size_t begin,
+                               std::size_t end) noexcept {
+  for (std::size_t i = begin; i < end; ++i) out[i] = 0.0;
+  for (int j = 0; j < buf.dim(); ++j) {
+    const double* c = buf.col(j);
+    const double qj = q[j];
+    if constexpr (N == Norm::L2) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const double diff = c[i] - qj;
+        out[i] += diff * diff;
+      }
+    } else if constexpr (N == Norm::Linf) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const double diff = std::fabs(c[i] - qj);
+        if (diff > out[i]) out[i] = diff;
+      }
+    } else {
+      for (std::size_t i = begin; i < end; ++i)
+        out[i] += std::fabs(c[i] - qj);
+    }
+  }
+}
+
 /// Writes the distance key of every buffered point to `q` into out[0..n).
 /// Column-at-a-time passes: each inner loop is a straight-line stream over
 /// two contiguous arrays, which the compiler vectorizes.  Accumulation per
@@ -173,25 +209,7 @@ class PointBuffer {
 template <Norm N>
 inline void compute_keys(const PointBuffer& buf, const double* q,
                          double* out) noexcept {
-  const std::size_t n = buf.size();
-  for (std::size_t i = 0; i < n; ++i) out[i] = 0.0;
-  for (int j = 0; j < buf.dim(); ++j) {
-    const double* c = buf.col(j);
-    const double qj = q[j];
-    if constexpr (N == Norm::L2) {
-      for (std::size_t i = 0; i < n; ++i) {
-        const double diff = c[i] - qj;
-        out[i] += diff * diff;
-      }
-    } else if constexpr (N == Norm::Linf) {
-      for (std::size_t i = 0; i < n; ++i) {
-        const double diff = std::fabs(c[i] - qj);
-        if (diff > out[i]) out[i] = diff;
-      }
-    } else {
-      for (std::size_t i = 0; i < n; ++i) out[i] += std::fabs(c[i] - qj);
-    }
-  }
+  compute_keys_range<N>(buf, q, out, 0, buf.size());
 }
 
 struct RelaxResult {
@@ -256,6 +274,117 @@ inline std::int64_t mark_within(const PointBuffer& buf,
     const std::uint32_t j = idx[t];
     if (covered[j] != 0) continue;
     if (buf.key_to<N>(j, q) <= key_thresh) {
+      covered[j] = 1;
+      removed += w[j];
+      on_covered(j);
+    }
+  }
+  return removed;
+}
+
+// Default chunk grain of the parallel kernels: below this many points the
+// scalar kernel wins (chunk dispatch costs more than the scan).
+constexpr std::size_t kParallelGrain = 8192;
+
+/// Chunk-parallel `relax_min_keys`.  Each chunk relaxes its own disjoint
+/// slice of keys/assign; the farthest point is then reduced over the
+/// per-chunk first-max results in ascending chunk order with a strict `>`,
+/// which reproduces the scalar loop's first-max-wins tie-breaking exactly.
+template <Norm N>
+inline RelaxResult relax_min_keys_parallel(const PointBuffer& buf,
+                                           const double* q,
+                                           std::uint32_t label, double* keys,
+                                           std::uint32_t* assign,
+                                           double* scratch, ThreadPool* pool,
+                                           std::size_t grain = kParallelGrain) {
+  const std::size_t n = buf.size();
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= grain)
+    return relax_min_keys<N>(buf, q, label, keys, assign, scratch);
+  const std::size_t chunks = pool->chunk_count(n, grain);
+  std::vector<RelaxResult> part(chunks);
+  pool->parallel_for_chunks(
+      n, grain, [&](std::size_t c, std::size_t begin, std::size_t end) {
+        compute_keys_range<N>(buf, q, scratch, begin, end);
+        RelaxResult r;
+        for (std::size_t i = begin; i < end; ++i) {
+          if (scratch[i] < keys[i]) {
+            keys[i] = scratch[i];
+            assign[i] = label;
+          }
+          if (keys[i] > r.far_key) {
+            r.far_key = keys[i];
+            r.far_idx = i;
+          }
+        }
+        part[c] = r;
+      });
+  RelaxResult res = part[0];
+  for (std::size_t c = 1; c < chunks; ++c)
+    if (part[c].far_key > res.far_key) res = part[c];
+  return res;
+}
+
+/// Chunk-parallel `count_within`: per-chunk integer partial sums, added in
+/// ascending chunk order (integer addition — bit-identical to the scalar
+/// scan regardless of the split).  For a single large candidate list; the
+/// Charikar init pass instead fans out one level up (parallel over query
+/// points, scalar counts per ball), which covers the same work with less
+/// dispatch — use this variant when there is one big list and no outer
+/// fan-out.  Contract pinned by tests/test_parallel.cpp.
+template <Norm N>
+[[nodiscard]] inline std::int64_t count_within_parallel(
+    const PointBuffer& buf, const std::uint32_t* idx, std::size_t m,
+    const double* q, double key_thresh, const std::int64_t* w,
+    const std::uint8_t* covered, ThreadPool* pool,
+    std::size_t grain = kParallelGrain) {
+  if (pool == nullptr || pool->num_threads() <= 1 || m <= grain)
+    return count_within<N>(buf, idx, m, q, key_thresh, w, covered);
+  const std::size_t chunks = pool->chunk_count(m, grain);
+  std::vector<std::int64_t> part(chunks, 0);
+  pool->parallel_for_chunks(
+      m, grain, [&](std::size_t c, std::size_t begin, std::size_t end) {
+        part[c] = count_within<N>(buf, idx + begin, end - begin, q,
+                                  key_thresh, w, covered);
+      });
+  std::int64_t sum = 0;
+  for (std::size_t c = 0; c < chunks; ++c) sum += part[c];
+  return sum;
+}
+
+/// Chunk-parallel `mark_within`.  The candidate filter (the distance scan)
+/// runs concurrently with `covered` read-only; the mutation — marking,
+/// weight removal, `on_covered` — is applied on the calling thread in
+/// ascending chunk order, with the already-covered re-check preserved, so
+/// the covered set, the removed weight, and the `on_covered` invocation
+/// order all match the scalar kernel exactly (even when idx holds
+/// duplicates).
+template <Norm N, typename F>
+inline std::int64_t mark_within_parallel(const PointBuffer& buf,
+                                         const std::uint32_t* idx,
+                                         std::size_t m, const double* q,
+                                         double key_thresh,
+                                         const std::int64_t* w,
+                                         std::uint8_t* covered, F&& on_covered,
+                                         ThreadPool* pool,
+                                         std::size_t grain = kParallelGrain) {
+  if (pool == nullptr || pool->num_threads() <= 1 || m <= grain)
+    return mark_within<N>(buf, idx, m, q, key_thresh, w, covered,
+                          std::forward<F>(on_covered));
+  const std::size_t chunks = pool->chunk_count(m, grain);
+  std::vector<std::vector<std::uint32_t>> hits(chunks);
+  pool->parallel_for_chunks(
+      m, grain, [&](std::size_t c, std::size_t begin, std::size_t end) {
+        auto& h = hits[c];
+        for (std::size_t t = begin; t < end; ++t) {
+          const std::uint32_t j = idx[t];
+          if (covered[j] == 0 && buf.key_to<N>(j, q) <= key_thresh)
+            h.push_back(j);
+        }
+      });
+  std::int64_t removed = 0;
+  for (const auto& h : hits) {
+    for (const std::uint32_t j : h) {
+      if (covered[j] != 0) continue;  // duplicate occurrence in idx
       covered[j] = 1;
       removed += w[j];
       on_covered(j);

@@ -29,6 +29,7 @@
 #include "util/csv.hpp"
 #include "util/flags.hpp"
 #include "util/jsonlog.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

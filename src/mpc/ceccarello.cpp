@@ -27,7 +27,7 @@ CeccarelloResult ceccarello_coreset(const std::vector<WeightedSet>& parts,
       std::pow(std::ceil(4.0 / opt.eps), dim));
   const std::int64_t tau = (static_cast<std::int64_t>(k) + z) * per_center + 1;
 
-  Simulator sim(m, dim);
+  Simulator sim(m, dim, opt.pool);
   std::vector<WeightedSet> local(static_cast<std::size_t>(m));
 
   sim.round([&](int id, std::vector<Message>& /*inbox*/,

@@ -26,6 +26,7 @@ namespace kc::mpc {
 struct CeccarelloOptions {
   double eps = 0.5;
   OracleOptions oracle;  ///< used only for the coordinator recompression
+  ThreadPool* pool = nullptr;  ///< runs the per-machine map phase (not owned)
 };
 
 struct CeccarelloResult {

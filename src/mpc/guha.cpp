@@ -18,7 +18,7 @@ GuhaResult guha_local_z_coreset(const std::vector<WeightedSet>& parts, int k,
       break;
     }
 
-  Simulator sim(m, dim);
+  Simulator sim(m, dim, opt.pool);
   std::vector<MiniBallCovering> local(static_cast<std::size_t>(m));
 
   sim.round([&](int id, std::vector<Message>& /*inbox*/,

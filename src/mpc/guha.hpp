@@ -22,6 +22,7 @@ namespace kc::mpc {
 struct GuhaOptions {
   double eps = 0.5;
   OracleOptions oracle;
+  ThreadPool* pool = nullptr;  ///< runs the per-machine map phase (not owned)
 };
 
 struct GuhaResult {

@@ -27,7 +27,7 @@ MultiRoundResult multi_round_coreset(const std::vector<WeightedSet>& parts,
       2, static_cast<int>(std::ceil(
              std::pow(static_cast<double>(m), 1.0 / opt.rounds))));
 
-  Simulator sim(m, dim);
+  Simulator sim(m, dim, opt.pool);
   std::vector<WeightedSet> holdings = parts;
 
   int active = m;

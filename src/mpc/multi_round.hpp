@@ -22,6 +22,7 @@ struct MultiRoundOptions {
   double eps = 0.25;
   int rounds = 2;  ///< R ≥ 1
   OracleOptions oracle;
+  ThreadPool* pool = nullptr;  ///< runs the per-machine map phases (not owned)
 };
 
 struct MultiRoundResult {

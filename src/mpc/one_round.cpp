@@ -28,7 +28,7 @@ OneRoundResult one_round_coreset(const std::vector<WeightedSet>& parts, int k,
       z, static_cast<std::int64_t>(
              std::ceil(6.0 * static_cast<double>(z) / m + 3.0 * logn)));
 
-  Simulator sim(m, dim);
+  Simulator sim(m, dim, opt.pool);
   std::vector<MiniBallCovering> local(static_cast<std::size_t>(m));
 
   sim.round([&](int id, std::vector<Message>& /*inbox*/,

@@ -21,6 +21,7 @@ namespace kc::mpc {
 struct OneRoundOptions {
   double eps = 0.5;
   OracleOptions oracle;
+  ThreadPool* pool = nullptr;  ///< runs the per-machine map phase (not owned)
 };
 
 struct OneRoundResult {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace kc::mpc {
 
@@ -17,12 +18,14 @@ std::size_t MpcStats::coordinator_words() const {
   return peak_words.empty() ? 0 : peak_words[0];
 }
 
-Simulator::Simulator(int m, int dim) : m_(m), dim_(dim) {
+Simulator::Simulator(int m, int dim, ThreadPool* pool)
+    : m_(m), dim_(dim), pool_(pool) {
   KC_EXPECTS(m >= 1);
   KC_EXPECTS(dim >= 1);
   inboxes_.resize(static_cast<std::size_t>(m));
   stats_.machines = m;
   stats_.dim = dim;
+  stats_.threads = pool ? pool->num_threads() : 1;
   stats_.peak_words.assign(static_cast<std::size_t>(m), 0);
 }
 
@@ -40,13 +43,24 @@ std::vector<Message>& Simulator::inbox(int id) {
 void Simulator::round(const RoundFn& fn) {
   std::vector<std::vector<Message>> outboxes(static_cast<std::size_t>(m_));
 
-#ifdef KCORESET_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-  for (int id = 0; id < m_; ++id) {
-    fn(id, inboxes_[static_cast<std::size_t>(id)],
-       outboxes[static_cast<std::size_t>(id)]);
+  // Map phase: one machine per task.  Each machine touches only its own
+  // inbox/outbox (and whatever id-indexed state `fn` owns), so the pool
+  // may schedule them in any order without affecting the result.
+  Timer map_timer;
+  const auto run_machine = [&](std::size_t id) {
+    fn(static_cast<int>(id), inboxes_[id], outboxes[id]);
+  };
+  if (pool_ != nullptr && pool_->num_threads() > 1) {
+    pool_->parallel_for(static_cast<std::size_t>(m_), 1,
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t id = begin; id < end; ++id)
+                            run_machine(id);
+                        });
+  } else {
+    for (std::size_t id = 0; id < static_cast<std::size_t>(m_); ++id)
+      run_machine(id);
   }
+  stats_.map_ms += map_timer.millis();
 
   // Route messages; this is the communication phase of the round.
   std::size_t round_words = 0;

@@ -16,8 +16,12 @@
 //    algorithms through `record_storage`;
 //  * per-round and total communication volume in words.
 //
-// Machine-local work within a round is embarrassingly parallel and is run
-// under OpenMP when available.
+// Machine-local work within a round is embarrassingly parallel and runs on
+// a `kc::ThreadPool` when one is supplied (one machine per task, merged in
+// machine-index order), so the simulated machines occupy real cores.  The
+// map-phase wall time and the thread count are recorded in MpcStats; with
+// no pool (or a single-thread pool) the machines run sequentially with
+// bit-identical results.
 
 #pragma once
 
@@ -26,6 +30,7 @@
 #include <vector>
 
 #include "geometry/point.hpp"
+#include "util/parallel.hpp"
 
 namespace kc::mpc {
 
@@ -46,6 +51,8 @@ struct MpcStats {
   int machines = 0;
   int dim = 0;
   int rounds = 0;  ///< communication rounds executed
+  int threads = 1;     ///< pool threads the map phases ran on
+  double map_ms = 0.0; ///< total wall time of the map phases (all rounds)
   std::vector<std::size_t> peak_words;  ///< per machine
   std::vector<std::size_t> comm_words_per_round;
   std::size_t total_comm_words = 0;
@@ -59,7 +66,9 @@ struct MpcStats {
 class Simulator {
  public:
   /// m ≥ 1 machines in dimension dim.  Machine 0 is the coordinator.
-  Simulator(int m, int dim);
+  /// `pool` (optional, not owned) runs the per-machine map phase of each
+  /// round concurrently; it must outlive the simulator.
+  explicit Simulator(int m, int dim, ThreadPool* pool = nullptr);
 
   [[nodiscard]] int machines() const noexcept { return m_; }
   [[nodiscard]] int dim() const noexcept { return dim_; }
@@ -75,9 +84,12 @@ class Simulator {
   }
 
   /// Executes one synchronous round: `fn(id, inbox, outbox)` runs for every
-  /// machine (in parallel when OpenMP is enabled), then outgoing messages
-  /// are routed and become the next round's inboxes.  Communication volume
-  /// is accounted per round.
+  /// machine (concurrently on the pool when one was supplied — `fn` may
+  /// freely touch per-machine state indexed by `id`, but nothing shared
+  /// across ids), then outgoing messages are routed in machine-index order
+  /// and become the next round's inboxes.  Communication volume is
+  /// accounted per round; the map phase's wall time accumulates in
+  /// `stats().map_ms`.
   using RoundFn =
       std::function<void(int id, std::vector<Message>& inbox,
                          std::vector<Message>& outbox)>;
@@ -91,6 +103,7 @@ class Simulator {
  private:
   int m_;
   int dim_;
+  ThreadPool* pool_;  ///< not owned; nullptr = sequential map phase
   std::vector<std::vector<Message>> inboxes_;
   MpcStats stats_;
 };

@@ -79,7 +79,7 @@ TwoRoundResult two_round_coreset(const std::vector<WeightedSet>& parts, int k,
       break;
     }
 
-  Simulator sim(m, dim);
+  Simulator sim(m, dim, opt.pool);
   const int levels = guess_levels(z) + 1;  // j = 0..J inclusive
 
   // Per-machine state living across rounds.

@@ -33,6 +33,7 @@ namespace kc::mpc {
 struct TwoRoundOptions {
   double eps = 0.5;
   OracleOptions oracle;   ///< radius oracle used for the V_i tables
+  ThreadPool* pool = nullptr;  ///< runs the per-machine map phases (not owned)
 };
 
 struct TwoRoundResult {

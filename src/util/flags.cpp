@@ -43,4 +43,19 @@ double Flags::get_double(const std::string& name, double def) const {
   return std::strtod(it->second.c_str(), nullptr);
 }
 
+std::vector<std::string> Flags::unknown_flags(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    bool found = false;
+    for (const auto& k : known)
+      if (k == name) {
+        found = true;
+        break;
+      }
+    if (!found) out.push_back(name);  // values_ is a sorted map
+  }
+  return out;
+}
+
 }  // namespace kc

@@ -31,6 +31,12 @@ class Flags {
     return positional_;
   }
 
+  /// Flags that were passed but are not in `known`, in sorted order.
+  /// Strict drivers (kcenter_cli) reject such typos with usage text instead
+  /// of silently ignoring them.
+  [[nodiscard]] std::vector<std::string> unknown_flags(
+      const std::vector<std::string>& known) const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Perf/determinism gate for the engine-smoke JSON records (stdlib only).
+
+Compares a candidate JSONL file of ``engine_pipeline`` records (what
+``kcenter_cli --json`` appends) against a baseline:
+
+* the two files must cover the same set of pipelines;
+* the *result* columns must match the baseline — the engine layer is
+  deterministic, so any drift in radius/quality/storage is a real
+  behavioral change, not noise.  Integer columns (coreset, words, rounds,
+  comm_words) compare exactly; float columns (radius, radius_direct,
+  quality) compare within a 1e-9 *relative* epsilon, absorbing last-ULP
+  libm/FMA differences between the machine that generated the baseline
+  and the CI runner while still catching any real drift.  The bit-exact
+  thread-determinism guarantee is enforced where it is meaningful — same
+  binary, same machine — by tests/test_parallel.cpp and the
+  --threads 8 vs 1 CI step, which passes ``--exact`` so its float columns
+  compare with equality, not the epsilon.
+* the *timing* columns (build_ms, solve_ms) must stay within a generous
+  ``--tolerance`` factor (default 3x) of the baseline, ignoring entries
+  below an absolute noise floor; ``--ignore-time`` skips this check (used
+  by the thread-determinism step, which compares two runs of the same
+  build at different ``--threads``).
+
+Usage:
+    tools/check_bench.py CANDIDATE BASELINE [--tolerance 3.0] [--ignore-time]
+
+Refreshing the committed baseline (BENCH_engine.json) after an intended
+behavioral or performance change:
+    ./build/tools/kcenter_cli --pipeline all --n 2000 --k 3 --z 16 --eps 0.5 \
+        --json BENCH_engine.new.json --json-tag "PR<N>"
+    mv BENCH_engine.new.json BENCH_engine.json
+and mention the expected column drift in the PR description.
+"""
+
+import argparse
+import json
+import sys
+
+EXACT_COLUMNS = ("coreset", "words", "rounds", "comm_words")
+FLOAT_COLUMNS = ("radius", "radius_direct", "quality")
+FLOAT_REL_EPS = 1e-9
+TIME_COLUMNS = ("build_ms", "solve_ms")
+# Timing entries below this many milliseconds are noise on a busy CI
+# runner; they are not gated.
+TIME_FLOOR_MS = 10.0
+
+
+def float_close(a, b):
+    return abs(a - b) <= FLOAT_REL_EPS * max(abs(a), abs(b), 1.0)
+
+
+def load_records(path):
+    records = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"{path}:{line_no}: not JSON: {exc}")
+            if rec.get("experiment") != "engine_pipeline":
+                continue
+            name = rec.get("pipeline")
+            if name is None:
+                raise SystemExit(f"{path}:{line_no}: record without 'pipeline'")
+            # Keep the first record per pipeline: the smoke run emits one
+            # per pipeline, and thread-sweep files list threads=1 first.
+            records.setdefault(name, rec)
+    if not records:
+        raise SystemExit(f"{path}: no engine_pipeline records found")
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("candidate", help="fresh engine smoke JSONL")
+    parser.add_argument("baseline", help="committed baseline JSONL")
+    parser.add_argument("--tolerance", type=float, default=3.0,
+                        help="allowed slowdown factor for timing columns")
+    parser.add_argument("--ignore-time", action="store_true",
+                        help="skip the timing check (determinism-only mode)")
+    parser.add_argument("--exact", action="store_true",
+                        help="compare float columns exactly instead of within "
+                             "the relative epsilon — for same-binary, "
+                             "same-runner comparisons (the --threads 8 vs 1 "
+                             "determinism gate), where bit-identity is the "
+                             "contract")
+    args = parser.parse_args()
+
+    candidate = load_records(args.candidate)
+    baseline = load_records(args.baseline)
+    failures = []
+
+    missing = sorted(set(baseline) - set(candidate))
+    extra = sorted(set(candidate) - set(baseline))
+    if missing:
+        failures.append(f"pipelines missing from candidate: {missing}")
+    if extra:
+        failures.append(f"pipelines not in baseline: {extra}")
+
+    for name in sorted(set(candidate) & set(baseline)):
+        cand, base = candidate[name], baseline[name]
+        for col in EXACT_COLUMNS:
+            if col not in base:
+                continue
+            if cand.get(col) != base[col]:
+                failures.append(
+                    f"{name}: {col} = {cand.get(col)!r}, "
+                    f"baseline {base[col]!r} (exact column)")
+        for col in FLOAT_COLUMNS:
+            if col not in base:
+                continue
+            if args.exact:
+                if cand.get(col) != base[col]:
+                    failures.append(
+                        f"{name}: {col} = {cand.get(col)!r}, "
+                        f"baseline {base[col]!r} (exact float column)")
+            elif not float_close(float(cand.get(col, 0.0)),
+                                 float(base[col])):
+                failures.append(
+                    f"{name}: {col} = {cand.get(col)!r}, "
+                    f"baseline {base[col]!r} (beyond {FLOAT_REL_EPS:g} "
+                    f"relative)")
+        if args.ignore_time:
+            continue
+        for col in TIME_COLUMNS:
+            base_ms = float(base.get(col, 0.0))
+            cand_ms = float(cand.get(col, 0.0))
+            limit = args.tolerance * max(base_ms, TIME_FLOOR_MS)
+            if cand_ms > limit:
+                failures.append(
+                    f"{name}: {col} = {cand_ms:.1f}ms exceeds "
+                    f"{args.tolerance:g}x baseline "
+                    f"(max({base_ms:.1f}ms, floor {TIME_FLOOR_MS:g}ms))")
+
+    if failures:
+        print(f"check_bench: FAIL ({args.candidate} vs {args.baseline})")
+        for failure in failures:
+            print(f"  - {failure}")
+        print("  (intended change? refresh the baseline — see the module "
+              "docstring)")
+        return 1
+    mode = ("result columns match" +
+            ("" if args.ignore_time
+             else f", timings within {args.tolerance:g}x"))
+    print(f"check_bench: OK — {len(candidate)} pipelines, {mode}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,18 +9,8 @@
 //   kcenter_cli --pipeline all --n 4000 --k 3 --z 16 --eps 0.5 --norm linf
 //               --json engine.json --json-tag "$(git rev-parse --short HEAD)"
 //
-// Flags (defaults in brackets):
-//   --pipeline <name>|all [all]   registered pipeline name (see --list)
-//   --n/--k/--z/--eps/--dim       problem parameters [4000/3/16/0.5/2]
-//   --norm l2|l1|linf             metric [l2]
-//   --seed <s>                    instance + sketch seed [1]
-//   --m/--partition/--rounds      MPC knobs [8/adversarial/2]
-//   --policy ours|ceccarello      insertion-only threshold policy [ours]
-//   --window <W>                  sliding-window length (0 = whole stream)
-//   --delta <D>                   dynamic universe side [256]
-//   --det-recovery                dynamic: deterministic power-sum sketch
-//   --no-direct                   skip the direct solve (radius only)
-//   --json <path> --json-tag <t>  append one JSON record per pipeline run
+// Unknown flags are an error (usage text + exit 2), so a typo'd flag in a
+// CI smoke step fails the job instead of silently running the defaults.
 
 #include <cstdio>
 #include <string>
@@ -31,6 +21,33 @@
 namespace {
 
 using namespace kc;
+
+constexpr const char kUsage[] =
+    "usage: kcenter_cli [flags]   (defaults in brackets)\n"
+    "  --list                        print the pipeline catalogue and exit\n"
+    "  --pipeline <name>|all [all]   registered pipeline name (see --list)\n"
+    "  --n/--k/--z/--eps/--dim       problem parameters [4000/3/16/0.5/2]\n"
+    "  --norm l2|l1|linf             metric [l2]\n"
+    "  --seed <s>                    instance + sketch seed [1]\n"
+    "  --threads <N>                 thread-pool size for the MPC map phase\n"
+    "                                and batch kernels; 0 = hardware [1]\n"
+    "  --m/--partition/--rounds      MPC knobs [8/adversarial/2]\n"
+    "  --policy ours|ceccarello      insertion-only threshold policy [ours]\n"
+    "  --window <W>                  sliding-window length (0 = whole stream)\n"
+    "  --delta <D>                   dynamic universe side [256]\n"
+    "  --det-recovery                dynamic: deterministic power-sum sketch\n"
+    "  --no-direct                   skip the direct solve (radius only)\n"
+    "  --json <path> --json-tag <t>  append one JSON record per pipeline run\n"
+    "  --help                        print this text and exit\n";
+
+const std::vector<std::string>& known_flags() {
+  static const std::vector<std::string> flags{
+      "list",   "pipeline", "n",      "k",        "z",           "eps",
+      "dim",    "norm",     "seed",   "threads",  "m",           "partition",
+      "rounds", "policy",   "window", "delta",    "det-recovery",
+      "no-direct", "json",  "json-tag", "help"};
+  return flags;
+}
 
 Norm parse_norm(const std::string& name) {
   if (name == "l1") return Norm::L1;
@@ -64,6 +81,21 @@ void print_catalogue() {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  if (flags.has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  const auto unknown = flags.unknown_flags(known_flags());
+  if (!unknown.empty() || !flags.positional().empty()) {
+    for (const auto& name : unknown)
+      std::fprintf(stderr, "error: unknown flag '--%s'\n", name.c_str());
+    // Single-dash typos ("-threads") and stray words land here: the CLI
+    // takes no positional arguments, so any are a mistake.
+    for (const auto& arg : flags.positional())
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", arg.c_str());
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
   if (flags.has("list")) {
     print_catalogue();
     return 0;
@@ -87,6 +119,7 @@ int main(int argc, char** argv) {
   cfg.window = flags.get_int("window", 0);
   cfg.delta = flags.get_int("delta", 256);
   cfg.deterministic_recovery = flags.has("det-recovery");
+  cfg.num_threads = static_cast<int>(flags.get_int("threads", 1));
 
   const auto n = static_cast<std::size_t>(flags.get_int("n", 4000));
   const std::string which = flags.get_string("pipeline", "all");
