@@ -26,11 +26,16 @@ constexpr std::size_t kGridMinPoints = 32;
 // reference's O(k·n²).
 template <Norm N>
 CharikarRun charikar_run_grid(const WeightedSet& pts, int k, std::int64_t z,
-                              double r, ThreadPool* pool) {
+                              double r, ThreadPool* pool,
+                              const kernels::PointBuffer* prebuilt) {
   CharikarRun out;
   const std::size_t n = pts.size();
   const int dim = pts.front().p.dim();
-  const kernels::PointBuffer buf(pts);
+  kernels::PointBuffer local;
+  if (prebuilt == nullptr || prebuilt->size() != n)
+    local = kernels::PointBuffer(pts);
+  const kernels::PointBuffer& buf =
+      (prebuilt != nullptr && prebuilt->size() == n) ? *prebuilt : local;
   std::vector<std::int64_t> w(n);
   for (std::size_t i = 0; i < n; ++i) w[i] = pts[i].w;
   std::vector<std::uint8_t> covered(n, 0);
@@ -161,15 +166,19 @@ CharikarRun charikar_run_scalar(const WeightedSet& pts, int k, std::int64_t z,
 }
 
 CharikarRun charikar_run(const WeightedSet& pts, int k, std::int64_t z,
-                         double r, const Metric& metric, ThreadPool* pool) {
+                         double r, const Metric& metric, ThreadPool* pool,
+                         const kernels::PointBuffer* buffer) {
   KC_EXPECTS(k >= 1);
   if (metric.norm() == Norm::Custom || r <= 0.0 ||
       pts.size() < kGridMinPoints)
     return charikar_run_scalar(pts, k, z, r, metric);
   switch (metric.norm()) {
-    case Norm::L2: return charikar_run_grid<Norm::L2>(pts, k, z, r, pool);
-    case Norm::Linf: return charikar_run_grid<Norm::Linf>(pts, k, z, r, pool);
-    case Norm::L1: return charikar_run_grid<Norm::L1>(pts, k, z, r, pool);
+    case Norm::L2:
+      return charikar_run_grid<Norm::L2>(pts, k, z, r, pool, buffer);
+    case Norm::Linf:
+      return charikar_run_grid<Norm::Linf>(pts, k, z, r, pool, buffer);
+    case Norm::L1:
+      return charikar_run_grid<Norm::L1>(pts, k, z, r, pool, buffer);
     case Norm::Custom: break;  // handled above
   }
   return charikar_run_scalar(pts, k, z, r, metric);  // unreachable
@@ -210,8 +219,18 @@ CharikarResult charikar_oracle(const WeightedSet& pts, int k, std::int64_t z,
   const double growth = 1.0 + opt.beta;
   auto candidate = [&](int j) { return hi / std::pow(growth, j); };
 
+  // One SoA pack shared by every ladder guess: use the caller's prebuilt
+  // buffer when it matches, else pack here — never once per guess.
+  kernels::PointBuffer local;
+  const kernels::PointBuffer* buffer = opt.buffer;
+  if ((buffer == nullptr || buffer->size() != pts.size()) &&
+      metric.norm() != Norm::Custom && pts.size() >= kGridMinPoints) {
+    local = kernels::PointBuffer(pts);
+    buffer = &local;
+  }
+
   CharikarRun best_run = charikar_run(pts, k, z, candidate(0), metric,
-                                      opt.pool);
+                                      opt.pool, buffer);
   KC_ENSURES(best_run.success);  // r = hi ≥ opt always succeeds
   int best_j = 0;
 
@@ -219,7 +238,7 @@ CharikarResult charikar_oracle(const WeightedSet& pts, int k, std::int64_t z,
   while (lo_j < hi_j) {
     const int mid = lo_j + (hi_j - lo_j + 1) / 2;
     CharikarRun run = charikar_run(pts, k, z, candidate(mid), metric,
-                                   opt.pool);
+                                   opt.pool, buffer);
     if (run.success) {
       lo_j = mid;
       best_run = std::move(run);

@@ -49,11 +49,14 @@ struct CharikarRun {
 /// reference below.  Results are bit-identical to the reference (pinned by
 /// tests/test_kernels.cpp).  `pool` (optional) fans the initial
 /// candidate-weight pass out over deterministic chunks — same results at
-/// every thread count.
+/// every thread count.  `buffer` (optional) is a prebuilt SoA buffer of
+/// `pts` in the same order; when null the grid pass packs one itself.
 [[nodiscard]] CharikarRun charikar_run(const WeightedSet& pts, int k,
                                        std::int64_t z, double r,
                                        const Metric& metric,
-                                       ThreadPool* pool = nullptr);
+                                       ThreadPool* pool = nullptr,
+                                       const kernels::PointBuffer* buffer =
+                                           nullptr);
 
 /// Reference implementation of `charikar_run`: the plain O(k · n²) rescan.
 /// Fallback for custom metrics and degenerate radii, and the ground truth
@@ -72,6 +75,10 @@ struct CharikarOptions {
   double beta = 0.25;    ///< ladder density; ρ grows with (1+β)
   int max_ladder = 96;   ///< ladder length cap (range 2^{-max_ladder}·hi .. hi)
   ThreadPool* pool = nullptr;  ///< forwarded to every charikar_run (not owned)
+  /// Prebuilt SoA buffer of `pts` in the same order (not owned).  When null
+  /// the oracle builds one itself — once, shared by every ladder guess.
+  /// Ignored when stale (size mismatch); results are identical either way.
+  const kernels::PointBuffer* buffer = nullptr;
 };
 
 /// Full oracle: ladder construction + binary search for the smallest

@@ -3,14 +3,52 @@
 #include <algorithm>
 #include <limits>
 
+#include "geometry/kernels.hpp"
 #include "util/check.hpp"
 
 namespace kc {
 
+namespace {
+
+// Batched nearest-center keys over a prebuilt SoA buffer: one min-relax
+// sweep per center, centers in ascending order — the same per-point
+// minimisation sequence as the scalar loop, so bit-identical keys.
+template <Norm N>
+std::vector<double> nearest_center_keys(const kernels::PointBuffer& buf,
+                                        const PointSet& centers) {
+  const std::size_t n = buf.size();
+  std::vector<double> keys(n, std::numeric_limits<double>::infinity());
+  std::vector<double> scratch(n);
+  for (const auto& c : centers)
+    kernels::min_keys<N>(buf, c.coords().data(), keys.data(), scratch.data());
+  return keys;
+}
+
+}  // namespace
+
 std::vector<double> nearest_center_dist(const WeightedSet& pts,
                                         const PointSet& centers,
-                                        const Metric& metric) {
+                                        const Metric& metric,
+                                        const kernels::PointBuffer* buf) {
   KC_EXPECTS(!centers.empty());
+  if (buf != nullptr && buf->size() == pts.size() &&
+      metric.norm() != Norm::Custom && !pts.empty()) {
+    std::vector<double> keys;
+    switch (metric.norm()) {
+      case Norm::L2:
+        keys = nearest_center_keys<Norm::L2>(*buf, centers);
+        break;
+      case Norm::Linf:
+        keys = nearest_center_keys<Norm::Linf>(*buf, centers);
+        break;
+      case Norm::L1:
+        keys = nearest_center_keys<Norm::L1>(*buf, centers);
+        break;
+      case Norm::Custom: break;  // excluded above
+    }
+    for (auto& k : keys) k = metric.key_to_dist(k);
+    return keys;
+  }
   std::vector<double> out;
   out.reserve(pts.size());
   for (const auto& wp : pts) {
@@ -25,9 +63,11 @@ std::vector<double> nearest_center_dist(const WeightedSet& pts,
 }
 
 double radius_with_outliers(const WeightedSet& pts, const PointSet& centers,
-                            std::int64_t z, const Metric& metric) {
+                            std::int64_t z, const Metric& metric,
+                            const kernels::PointBuffer* buf) {
   if (pts.empty()) return 0.0;
-  const std::vector<double> dist = nearest_center_dist(pts, centers, metric);
+  const std::vector<double> dist =
+      nearest_center_dist(pts, centers, metric, buf);
 
   // Pair distances with weights, sort descending by distance, and walk from
   // the farthest point: once the accumulated weight would exceed z, the
@@ -49,8 +89,10 @@ double radius_with_outliers(const WeightedSet& pts, const PointSet& centers,
 }
 
 std::int64_t uncovered_weight(const WeightedSet& pts, const PointSet& centers,
-                              double r, const Metric& metric) {
-  const std::vector<double> dist = nearest_center_dist(pts, centers, metric);
+                              double r, const Metric& metric,
+                              const kernels::PointBuffer* buf) {
+  const std::vector<double> dist =
+      nearest_center_dist(pts, centers, metric, buf);
   std::int64_t acc = 0;
   for (std::size_t i = 0; i < pts.size(); ++i)
     if (dist[i] > r) acc += pts[i].w;
@@ -58,9 +100,9 @@ std::int64_t uncovered_weight(const WeightedSet& pts, const PointSet& centers,
 }
 
 Solution evaluate(const WeightedSet& pts, PointSet centers, std::int64_t z,
-                  const Metric& metric) {
+                  const Metric& metric, const kernels::PointBuffer* buf) {
   Solution sol;
-  sol.radius = radius_with_outliers(pts, centers, z, metric);
+  sol.radius = radius_with_outliers(pts, centers, z, metric, buf);
   sol.centers = std::move(centers);
   return sol;
 }

@@ -37,7 +37,8 @@ GonzalezResult run_traversal(const WeightedSet& pts, int max_centers,
 
 GonzalezResult gonzalez(const WeightedSet& pts, int max_centers,
                         const Metric& metric, double stop_radius,
-                        ThreadPool* pool) {
+                        ThreadPool* pool,
+                        const kernels::PointBuffer* buffer) {
   KC_EXPECTS(max_centers >= 1);
   if (pts.empty()) return {};
   const std::size_t n = pts.size();
@@ -66,7 +67,11 @@ GonzalezResult gonzalez(const WeightedSet& pts, int max_centers,
         });
   }
 
-  const kernels::PointBuffer buf(pts);
+  kernels::PointBuffer local;
+  if (buffer == nullptr || buffer->size() != n)
+    local = kernels::PointBuffer(pts);
+  const kernels::PointBuffer& buf =
+      (buffer != nullptr && buffer->size() == n) ? *buffer : local;
   std::vector<double> scratch(n);
   auto kernel_run = [&]<Norm N>() {
     return run_traversal(pts, max_centers, metric, stop_radius,

@@ -40,6 +40,12 @@ MiniBallCovering mbc_hybrid_impl(const WeightedSet& pts, double radius,
   const double key = kernels::dist_to_key(N, radius);
   const int dim = pts.front().p.dim();
 
+  // SoA mirror of the rep coordinates for the pre-grid phase: the
+  // "first rep within radius" probe runs through the blocked vectorized
+  // scan (identical first hit).  Not maintained once the grid takes over.
+  kernels::PointBuffer repbuf(dim);
+  repbuf.reserve(switch_reps);
+
   std::optional<GridIndex> grid;
   const auto ensure_grid = [&] {
     if (grid || out.reps.size() < switch_reps) return;
@@ -66,13 +72,8 @@ MiniBallCovering mbc_hybrid_impl(const WeightedSet& pts, double radius,
                                  }
                                });
     } else {
-      for (std::size_t r = 0; r < out.reps.size(); ++r) {
-        if (kernels::raw_key<N>(q, out.reps[r].p.coords().data(), dim) <=
-            key) {
-          best = static_cast<std::uint32_t>(r);
-          break;
-        }
-      }
+      const std::size_t hit = kernels::first_within<N>(repbuf, q, key);
+      if (hit < repbuf.size()) best = static_cast<std::uint32_t>(hit);
     }
     if (best != kNone) {
       out.reps[best].w += wp.w;
@@ -81,10 +82,12 @@ MiniBallCovering mbc_hybrid_impl(const WeightedSet& pts, double radius,
       const auto id = static_cast<std::uint32_t>(out.reps.size());
       out.assignment.push_back(id);
       out.reps.push_back(wp);
-      if (grid)
+      if (grid) {
         grid->insert(q, id);
-      else
+      } else {
+        repbuf.append(q);
         ensure_grid();
+      }
     }
   }
   return out;

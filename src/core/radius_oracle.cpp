@@ -20,30 +20,35 @@ namespace {
 
 RadiusEstimate charikar_estimate(const WeightedSet& pts, int k, std::int64_t z,
                                  const Metric& metric, double beta,
-                                 ThreadPool* pool) {
+                                 ThreadPool* pool,
+                                 const kernels::PointBuffer* buffer) {
   CharikarOptions copt;
   copt.beta = beta;
   copt.pool = pool;
+  copt.buffer = buffer;
   const CharikarResult res = charikar_oracle(pts, k, z, metric, copt);
   return {res.radius, 3.0 * (1.0 + beta)};
 }
 
 RadiusEstimate summary_estimate(const WeightedSet& pts, int k, std::int64_t z,
                                 const Metric& metric, double gamma,
-                                double beta, ThreadPool* pool) {
+                                double beta, ThreadPool* pool,
+                                const kernels::PointBuffer* buffer) {
   if (pts.empty()) return {0.0, 1.0};
   const int dim = pts.front().p.dim();
   const std::int64_t tau = summary_center_budget(k, z, gamma, dim);
   if (static_cast<std::int64_t>(pts.size()) <= tau) {
     // Summary would be the whole input: fall back to Charikar directly.
-    return charikar_estimate(pts, k, z, metric, beta, pool);
+    return charikar_estimate(pts, k, z, metric, beta, pool, buffer);
   }
-  const GonzalezResult g =
-      gonzalez(pts, static_cast<int>(tau), metric, /*stop_radius=*/0.0, pool);
+  const GonzalezResult g = gonzalez(pts, static_cast<int>(tau), metric,
+                                    /*stop_radius=*/0.0, pool, buffer);
   const double delta = g.delta.back();  // ≤ γ·opt by the packing bound
   const WeightedSet summary = gonzalez_summary(pts, g);
+  // The caller's buffer mirrors `pts`, not the summary; the Charikar oracle
+  // packs the (small) summary itself, once for its whole ladder.
   const RadiusEstimate rs =
-      charikar_estimate(summary, k, z, metric, beta, pool);
+      charikar_estimate(summary, k, z, metric, beta, pool, nullptr);
   // opt(P) ≤ opt(S) + δ ≤ r_S + δ, and
   // r_S + δ ≤ ρ_C·opt(S) + δ ≤ ρ_C(opt+δ) + δ ≤ (ρ_C(1+γ) + γ)·opt.
   const double rho = rs.rho * (1.0 + gamma) + gamma;
@@ -56,15 +61,17 @@ RadiusEstimate estimate_radius(const WeightedSet& pts, int k, std::int64_t z,
                                const Metric& metric, const OracleOptions& opt) {
   switch (opt.kind) {
     case OracleKind::Charikar:
-      return charikar_estimate(pts, k, z, metric, opt.beta, opt.pool);
+      return charikar_estimate(pts, k, z, metric, opt.beta, opt.pool,
+                               opt.buffer);
     case OracleKind::Summary:
       return summary_estimate(pts, k, z, metric, opt.gamma, opt.beta,
-                              opt.pool);
+                              opt.pool, opt.buffer);
     case OracleKind::Auto:
       if (pts.size() > opt.auto_threshold)
         return summary_estimate(pts, k, z, metric, opt.gamma, opt.beta,
-                                opt.pool);
-      return charikar_estimate(pts, k, z, metric, opt.beta, opt.pool);
+                                opt.pool, opt.buffer);
+      return charikar_estimate(pts, k, z, metric, opt.beta, opt.pool,
+                               opt.buffer);
   }
   return {0.0, 1.0};  // unreachable
 }

@@ -48,6 +48,11 @@ struct OracleOptions {
   std::size_t auto_threshold = 600;  ///< Auto: input size above which Summary is used
   ThreadPool* pool = nullptr;  ///< chunk-parallel batch kernels (not owned);
                                ///< results are bit-identical with or without
+  /// Prebuilt SoA buffer of the input in the same order (not owned).  The
+  /// Gonzalez and Charikar passes then skip their own AoS→SoA re-pack.
+  /// Ignored when null or stale (size mismatch); results are identical
+  /// either way.
+  const kernels::PointBuffer* buffer = nullptr;
 };
 
 /// Computes a two-sided estimate of optk,z(pts).

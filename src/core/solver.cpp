@@ -14,9 +14,17 @@ Solution solve_kcenter_outliers(const WeightedSet& pts, int k, std::int64_t z,
                                 const Metric& metric,
                                 const OracleOptions& oracle) {
   KC_EXPECTS(!pts.empty());
+  // The oracle's prebuilt buffer (when supplied) mirrors `pts`; it feeds
+  // the Gonzalez compression, the Charikar ladder (when uncompressed), and
+  // the final evaluation — one pack for the whole solve.
+  const kernels::PointBuffer* buffer =
+      (oracle.buffer != nullptr && oracle.buffer->size() == pts.size())
+          ? oracle.buffer
+          : nullptr;
   CharikarOptions copt;
   copt.beta = oracle.beta;
   copt.pool = oracle.pool;
+  copt.buffer = buffer;
 
   // The Charikar greedy is O(ladder · k · n²); above the threshold we first
   // compress with a Gonzalez summary (covering radius ≤ γ·opt by the
@@ -29,9 +37,11 @@ Solution solve_kcenter_outliers(const WeightedSet& pts, int k, std::int64_t z,
     const std::int64_t tau = summary_center_budget(k, z, oracle.gamma, dim);
     if (static_cast<std::int64_t>(pts.size()) > tau) {
       const GonzalezResult g = gonzalez(pts, static_cast<int>(tau), metric,
-                                        /*stop_radius=*/0.0, oracle.pool);
+                                        /*stop_radius=*/0.0, oracle.pool,
+                                        buffer);
       summary = gonzalez_summary(pts, g);
       work = &summary;
+      copt.buffer = nullptr;  // the buffer mirrors pts, not the summary
     }
   }
 
@@ -39,7 +49,7 @@ Solution solve_kcenter_outliers(const WeightedSet& pts, int k, std::int64_t z,
   PointSet centers = res.centers;
   // The radius we report is the exact outlier-aware radius of the chosen
   // centers on the *original* weighted set.
-  return evaluate(pts, std::move(centers), z, metric);
+  return evaluate(pts, std::move(centers), z, metric, buffer);
 }
 
 Solution solve_kcenter_outliers_exact(const WeightedSet& pts, int k,

@@ -75,10 +75,17 @@ class DynamicPipeline final : public Pipeline {
     res.coreset = q.coreset;
     // Ground truth in grid coordinates: the live multiset after the script
     // (make_dynamic_script guarantees it equals the discretized instance).
+    // Built as AoS + SoA side by side so the evaluation tail runs on the
+    // buffer directly.
     WeightedSet live;
     live.reserve(grid.size());
-    for (const auto& g : grid) live.push_back({g.to_point(), 1});
-    extract_and_evaluate(res, live, cfg, w);
+    kernels::PointBuffer live_buf(cfg.dim);
+    live_buf.reserve(grid.size());
+    for (const auto& g : grid) {
+      live.push_back({g.to_point(), 1});
+      live_buf.append(live.back().p);
+    }
+    extract_and_evaluate(res, live, cfg, w, /*pool=*/nullptr, &live_buf);
     return res;
   }
 };

@@ -28,6 +28,7 @@ class OfflinePipeline final : public Pipeline {
     ThreadPool pool(cfg.num_threads);
     OracleOptions oracle;
     oracle.pool = &pool;
+    oracle.buffer = w.buffer();  // canonical SoA input — no re-pack
     PipelineResult res;
     Timer timer;
     const MiniBallCovering mbc =

@@ -74,13 +74,27 @@ PipelineResult Pipeline::execute(const Workload& w,
 
 namespace {
 
+/// Resolves the SoA buffer to evaluate `ground_truth` through: the
+/// caller-supplied one when given, else the workload's canonical buffer
+/// when `ground_truth` IS the workload's planted point set (harnesses that
+/// fill Workload fields by hand may leave it empty).  Null otherwise — the
+/// consumers below then fall back to packing / scalar scans.
+const kernels::PointBuffer* ground_truth_buffer(
+    const WeightedSet& ground_truth, const Workload& w,
+    const kernels::PointBuffer* gt_buffer) {
+  if (gt_buffer != nullptr && gt_buffer->size() == ground_truth.size())
+    return gt_buffer;
+  return &ground_truth == &w.planted.points ? w.buffer() : nullptr;
+}
+
 /// Direct solve on `ground_truth`, memoized in the workload's cache when
 /// `ground_truth` is the workload's own planted point set (the common
 /// case: 8 of the 10 built-in pipelines share it, so `--pipeline all`
 /// pays for the most expensive step once).
 double direct_radius(const WeightedSet& ground_truth,
                      const PipelineConfig& cfg, const Workload& w,
-                     PipelineReport& report, ThreadPool* pool) {
+                     PipelineReport& report, ThreadPool* pool,
+                     const kernels::PointBuffer* gt_buffer) {
   const bool cacheable =
       &ground_truth == &w.planted.points && w.direct_cache != nullptr;
   if (cacheable) {
@@ -90,6 +104,7 @@ double direct_radius(const WeightedSet& ground_truth,
   Timer timer;
   OracleOptions oracle;
   oracle.pool = pool;
+  oracle.buffer = ground_truth_buffer(ground_truth, w, gt_buffer);
   const Solution direct =
       solve_kcenter_outliers(ground_truth, cfg.k, cfg.z, cfg.metric(), oracle);
   report.set("direct_ms", timer.millis());
@@ -102,7 +117,8 @@ double direct_radius(const WeightedSet& ground_truth,
 
 void extract_and_evaluate(PipelineResult& res, const WeightedSet& ground_truth,
                           const PipelineConfig& cfg, const Workload& w,
-                          ThreadPool* pool) {
+                          ThreadPool* pool,
+                          const kernels::PointBuffer* gt_buffer) {
   if (!cfg.with_extraction || res.coreset.empty()) return;
   const Metric metric = cfg.metric();
   Timer timer;
@@ -111,24 +127,27 @@ void extract_and_evaluate(PipelineResult& res, const WeightedSet& ground_truth,
   const Solution via =
       solve_kcenter_outliers(res.coreset, cfg.k, cfg.z, metric, oracle);
   const double small_ms = timer.millis();
-  evaluate_centers(res, via.centers, ground_truth, cfg, w, pool);
+  evaluate_centers(res, via.centers, ground_truth, cfg, w, pool, gt_buffer);
   res.report.solve_ms += small_ms;
 }
 
 void evaluate_centers(PipelineResult& res, PointSet centers,
                       const WeightedSet& ground_truth,
                       const PipelineConfig& cfg, const Workload& w,
-                      ThreadPool* pool) {
+                      ThreadPool* pool,
+                      const kernels::PointBuffer* gt_buffer) {
   const Metric metric = cfg.metric();
+  const kernels::PointBuffer* buf =
+      ground_truth_buffer(ground_truth, w, gt_buffer);
   Timer timer;
   const double on_full =
-      radius_with_outliers(ground_truth, centers, cfg.z, metric);
+      radius_with_outliers(ground_truth, centers, cfg.z, metric, buf);
   res.report.set("eval_ms", timer.millis());
   res.solution = Solution{std::move(centers), on_full};
   res.report.radius = on_full;
   if (cfg.with_direct_solve) {
     const double direct =
-        direct_radius(ground_truth, cfg, w, res.report, pool);
+        direct_radius(ground_truth, cfg, w, res.report, pool, gt_buffer);
     res.report.radius_direct = direct;
     // Same guard as the QUALITY benches: degenerate direct radius → 1.0.
     res.report.quality = direct > 0 ? on_full / direct : 1.0;

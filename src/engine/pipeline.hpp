@@ -131,6 +131,16 @@ struct Workload {
       std::make_shared<DirectSolveCache>();
 
   [[nodiscard]] std::size_t n() const noexcept { return planted.points.size(); }
+
+  /// The planted instance's canonical SoA buffer, or null when a harness
+  /// filled the fields by hand and left it empty/stale.  Pipelines hand
+  /// this to the solver/evaluation layers so nothing re-packs the input.
+  [[nodiscard]] const kernels::PointBuffer* buffer() const noexcept {
+    return (!planted.points.empty() &&
+            planted.buffer.size() == planted.points.size())
+               ? &planted.buffer
+               : nullptr;
+  }
 };
 
 /// Standard workload: a planted instance with cfg's (k, z, dim, norm, seed)
@@ -226,16 +236,22 @@ class Pipeline {
 /// workload the run consumes: direct solves are memoized in its cache
 /// when `ground_truth` is the workload's own planted point set.  `pool`
 /// (optional) runs the solver's batch kernels chunk-parallel — results
-/// are bit-identical with or without it.
+/// are bit-identical with or without it.  `gt_buffer` (optional) is a SoA
+/// buffer of `ground_truth` in the same order, for pipelines whose ground
+/// truth is NOT the planted set (window contents, discretized live set);
+/// when null and `ground_truth` is the planted set, the workload's
+/// canonical buffer is used automatically.
 void extract_and_evaluate(PipelineResult& res, const WeightedSet& ground_truth,
                           const PipelineConfig& cfg, const Workload& w,
-                          ThreadPool* pool = nullptr);
+                          ThreadPool* pool = nullptr,
+                          const kernels::PointBuffer* gt_buffer = nullptr);
 
 /// Variant for solution-only pipelines that already hold centers: evaluate
 /// them on `ground_truth` and fill radius/radius_direct/quality.
 void evaluate_centers(PipelineResult& res, PointSet centers,
                       const WeightedSet& ground_truth,
                       const PipelineConfig& cfg, const Workload& w,
-                      ThreadPool* pool = nullptr);
+                      ThreadPool* pool = nullptr,
+                      const kernels::PointBuffer* gt_buffer = nullptr);
 
 }  // namespace kc::engine

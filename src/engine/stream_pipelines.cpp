@@ -139,13 +139,20 @@ class SlidingWindowPipeline final : public Pipeline {
     res.report.set("peak_records", static_cast<double>(sw.peak_records()));
     res.report.set("ok", q.level >= 0 ? 1.0 : 0.0);
 
-    // Ground truth = the window contents: arrivals with t in (n-W, n].
+    // Ground truth = the window contents: arrivals with t in (n-W, n],
+    // gathered as AoS + SoA side by side so the evaluation tail runs on
+    // the buffer directly.
     WeightedSet window;
     const std::int64_t first = std::max<std::int64_t>(n - W, 0);
     window.reserve(static_cast<std::size_t>(n - first));
-    for (std::int64_t t = first; t < n; ++t)
-      window.push_back(w.planted.points[arrival(w, static_cast<std::size_t>(t))]);
-    extract_and_evaluate(res, window, cfg, w);
+    kernels::PointBuffer window_buf(cfg.dim);
+    window_buf.reserve(static_cast<std::size_t>(n - first));
+    for (std::int64_t t = first; t < n; ++t) {
+      window.push_back(
+          w.planted.points[arrival(w, static_cast<std::size_t>(t))]);
+      window_buf.append(window.back().p);
+    }
+    extract_and_evaluate(res, window, cfg, w, /*pool=*/nullptr, &window_buf);
     return res;
   }
 };

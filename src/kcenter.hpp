@@ -43,6 +43,7 @@
 #include "geometry/kernels.hpp"
 #include "geometry/metric.hpp"
 #include "geometry/point.hpp"
+#include "geometry/point_buffer.hpp"
 
 // core — problem types, coresets, and offline solvers.
 #include "core/brute_force.hpp"

@@ -7,16 +7,16 @@
 
 namespace kc::mpc {
 
-std::vector<WeightedSet> partition_points(const WeightedSet& pts, int m,
-                                          PartitionKind kind,
-                                          std::uint64_t seed) {
+std::vector<std::vector<std::uint32_t>> partition_indices(
+    const WeightedSet& pts, int m, PartitionKind kind, std::uint64_t seed) {
   KC_EXPECTS(m >= 1);
-  std::vector<WeightedSet> parts(static_cast<std::size_t>(m));
+  std::vector<std::vector<std::uint32_t>> parts(static_cast<std::size_t>(m));
   switch (kind) {
     case PartitionKind::Random: {
       Rng rng(seed);
-      for (const auto& wp : pts)
-        parts[rng.uniform(static_cast<std::uint64_t>(m))].push_back(wp);
+      for (std::size_t i = 0; i < pts.size(); ++i)
+        parts[rng.uniform(static_cast<std::uint64_t>(m))].push_back(
+            static_cast<std::uint32_t>(i));
       break;
     }
     case PartitionKind::EvenSorted: {
@@ -30,15 +30,28 @@ std::vector<WeightedSet> partition_points(const WeightedSet& pts, int m,
       for (std::size_t r = 0; r < n; ++r) {
         const auto machine = static_cast<std::size_t>(
             (r * static_cast<std::size_t>(m)) / std::max<std::size_t>(n, 1));
-        parts[machine].push_back(pts[order[r]]);
+        parts[machine].push_back(static_cast<std::uint32_t>(order[r]));
       }
       break;
     }
     case PartitionKind::RoundRobin: {
       for (std::size_t i = 0; i < pts.size(); ++i)
-        parts[i % static_cast<std::size_t>(m)].push_back(pts[i]);
+        parts[i % static_cast<std::size_t>(m)].push_back(
+            static_cast<std::uint32_t>(i));
       break;
     }
+  }
+  return parts;
+}
+
+std::vector<WeightedSet> partition_points(const WeightedSet& pts, int m,
+                                          PartitionKind kind,
+                                          std::uint64_t seed) {
+  const auto idx = partition_indices(pts, m, kind, seed);
+  std::vector<WeightedSet> parts(idx.size());
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    parts[r].reserve(idx[r].size());
+    for (const std::uint32_t i : idx[r]) parts[r].push_back(pts[i]);
   }
   return parts;
 }

@@ -23,8 +23,18 @@ enum class PartitionKind : std::uint8_t {
   RoundRobin,   ///< deterministic even spread in input order
 };
 
+/// Index-level split of `pts` over m machines: part r lists the indices of
+/// the points machine r receives, in that machine's arrival order.  The
+/// copy-free layer under `partition_points` — consumers that hold the
+/// points in a SoA buffer gather slices from these instead of materializing
+/// per-machine AoS sets.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> partition_indices(
+    const WeightedSet& pts, int m, PartitionKind kind, std::uint64_t seed);
+
 /// Splits `pts` over m machines.  EvenSorted and RoundRobin yield sizes
 /// differing by at most 1 ("evenly"); Random is even in expectation.
+/// Implemented as a gather over `partition_indices` — the two views of a
+/// partition always agree.
 [[nodiscard]] std::vector<WeightedSet> partition_points(
     const WeightedSet& pts, int m, PartitionKind kind, std::uint64_t seed);
 

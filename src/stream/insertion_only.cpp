@@ -25,7 +25,7 @@ std::size_t stream_threshold(int k, std::int64_t z, double eps, int dim,
 InsertionOnlyStream::InsertionOnlyStream(int k, std::int64_t z, double eps,
                                          int dim, const Metric& metric,
                                          ThresholdPolicy policy)
-    : k_(k), z_(z), eps_(eps), dim_(dim), metric_(metric) {
+    : k_(k), z_(z), eps_(eps), dim_(dim), metric_(metric), reps_buf_(dim) {
   KC_EXPECTS(k >= 1);
   KC_EXPECTS(z >= 0);
   KC_EXPECTS(eps > 0.0 && eps <= 1.0);
@@ -37,18 +37,31 @@ void InsertionOnlyStream::insert_weighted(const Point& p, std::int64_t w) {
   KC_EXPECTS(w > 0);
   ++seen_;
   // Try to assign p to an existing representative within (ε/2)·r.  While
-  // r == 0 this absorbs exact duplicates only.
+  // r == 0 this absorbs exact duplicates only.  Built-in norms probe the
+  // SoA mirror with the blocked first-within scan (same first hit as the
+  // scalar rep loop); a custom metric falls back to that loop.
   const double join = (eps_ / 2.0) * r_;
   const double join_key = metric_.norm() == Norm::L2 ? join * join : join;
   bool placed = false;
-  for (auto& rep : reps_) {
-    if (metric_.dist_key(p, rep.p) <= join_key) {
-      rep.w += w;
+  if (metric_.norm() != Norm::Custom) {
+    const std::size_t hit = first_rep_within(p.coords().data(), join_key);
+    if (hit < reps_.size()) {
+      reps_[hit].w += w;
       placed = true;
-      break;
+    }
+  } else {
+    for (auto& rep : reps_) {
+      if (metric_.dist_key(p, rep.p) <= join_key) {
+        rep.w += w;
+        placed = true;
+        break;
+      }
     }
   }
-  if (!placed) reps_.push_back({p, w});
+  if (!placed) {
+    reps_.push_back({p, w});
+    reps_buf_.append(p);
+  }
   peak_ = std::max(peak_, reps_.size());
 
   // Bootstrap: first sensible lower bound once k+z+1 distinct points exist.
@@ -72,7 +85,29 @@ void InsertionOnlyStream::insert_weighted(const Point& p, std::int64_t w) {
     const MiniBallCovering mbc =
         mbc_with_radius(reps_, (eps_ / 2.0) * r_, metric_);
     reps_ = mbc.reps;
+    rebuild_reps_buf();
   }
+}
+
+std::size_t InsertionOnlyStream::first_rep_within(const double* q,
+                                                  double join_key) const {
+  switch (metric_.norm()) {
+    case Norm::L2:
+      return kernels::first_within<Norm::L2>(reps_buf_, q, join_key);
+    case Norm::Linf:
+      return kernels::first_within<Norm::Linf>(reps_buf_, q, join_key);
+    case Norm::L1:
+      return kernels::first_within<Norm::L1>(reps_buf_, q, join_key);
+    case Norm::Custom: break;  // callers exclude Custom
+  }
+  KC_DCHECK(false);
+  return reps_buf_.size();
+}
+
+void InsertionOnlyStream::rebuild_reps_buf() {
+  reps_buf_.clear();
+  reps_buf_.reserve(reps_.size());
+  for (const auto& rep : reps_) reps_buf_.append(rep.p);
 }
 
 void InsertionOnlyStream::absorb(const InsertionOnlyStream& other) {

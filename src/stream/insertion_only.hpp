@@ -78,6 +78,13 @@ class InsertionOnlyStream {
   [[nodiscard]] std::size_t points_seen() const noexcept { return seen_; }
 
  private:
+  /// First rep index with dist_key(q, rep) ≤ join_key (built-in norms; the
+  /// blocked vectorized scan of geometry/kernels.hpp), or reps_.size().
+  [[nodiscard]] std::size_t first_rep_within(const double* q,
+                                             double join_key) const;
+  /// Re-packs reps_buf_ from reps_ (after a recompression replaced reps_).
+  void rebuild_reps_buf();
+
   int k_;
   std::int64_t z_;
   double eps_;
@@ -85,6 +92,11 @@ class InsertionOnlyStream {
   Metric metric_;
   std::size_t threshold_;
   WeightedSet reps_;
+  /// SoA mirror of the rep coordinates, maintained incrementally (append on
+  /// new rep, rebuild after recompression) so the per-arrival "join an
+  /// existing rep" probe runs through the blocked vectorized scan instead
+  /// of re-packing — identical first hit, see geometry/kernels.hpp.
+  kernels::PointBuffer reps_buf_;
   double r_ = 0.0;
   std::size_t peak_ = 0;
   std::size_t seen_ = 0;

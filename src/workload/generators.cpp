@@ -153,8 +153,11 @@ PlantedInstance make_planted(const PlantedConfig& cfg) {
     std::swap(all[i - 1], all[j]);
   }
   inst.points.reserve(all.size());
+  inst.buffer = kernels::PointBuffer(cfg.dim);
+  inst.buffer.reserve(all.size());
   for (std::size_t i = 0; i < all.size(); ++i) {
     inst.points.push_back({all[i].first, 1});
+    inst.buffer.append(all[i].first);
     if (all[i].second) inst.outlier_indices.push_back(i);
   }
 

@@ -46,6 +46,9 @@ struct PlantedConfig {
 
 struct PlantedInstance {
   WeightedSet points;             ///< unit weights; clusters then outliers
+  /// Canonical SoA mirror of `points` (same order) — what the engine
+  /// pipelines and kernels consume; `points` is the AoS boundary view.
+  kernels::PointBuffer buffer;
   PointSet planted_centers;
   std::vector<std::size_t> outlier_indices;  ///< indices into `points`
   double opt_lo = 0.0;

@@ -7,6 +7,7 @@
 
 #include "core/cost.hpp"
 #include "core/mbc.hpp"
+#include "geometry/point_buffer.hpp"
 #include "core/verify.hpp"
 #include "dynamic/dynamic_coreset.hpp"
 #include "mpc/partition.hpp"
@@ -198,6 +199,98 @@ TEST(Fuzz, StreamOrderInvarianceOfGuarantees) {
               static_cast<std::int64_t>(inst.points.size()));
     EXPECT_LE(s.r(), inst.opt_hi + 1e-9) << "order " << order_seed;
     EXPECT_LE(s.coreset().size(), s.threshold());
+  }
+}
+
+TEST(Fuzz, AosSoAPackUnpackRoundTripAcrossSeeds) {
+  // Pack → unpack is the identity, however the buffer was filled: bulk
+  // constructor, reserved append, and growth-forcing append (which
+  // relayouts the columns several times) must all agree bitwise.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 53);
+    const int dim = 1 + static_cast<int>(rng.uniform(Point::kMaxDim));
+    const std::size_t n = 1 + rng.uniform(200);
+    WeightedSet pts;
+    pts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Point p(dim);
+      for (int j = 0; j < dim; ++j) p[j] = rng.uniform_real(-50, 50);
+      pts.push_back({p, 1});
+    }
+
+    const kernels::PointBuffer bulk(pts);
+    kernels::PointBuffer reserved(dim);
+    reserved.reserve(n);
+    kernels::PointBuffer grown(dim);  // no reserve: forces relayouts
+    for (const auto& wp : pts) {
+      reserved.append(wp.p);
+      grown.append(wp.p.coords().data());
+    }
+
+    ASSERT_EQ(bulk.size(), n);
+    ASSERT_EQ(bulk.dim(), dim);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(bulk.point(i), pts[i].p) << "seed " << seed << " i " << i;
+      for (int j = 0; j < dim; ++j) {
+        ASSERT_EQ(bulk.col(j)[i], pts[i].p[j]);
+        ASSERT_EQ(reserved.col(j)[i], pts[i].p[j]);
+        ASSERT_EQ(grown.col(j)[i], pts[i].p[j]);
+      }
+    }
+
+    // clear() keeps dim/capacity; refilling reproduces the same columns.
+    const std::size_t cap = grown.capacity();
+    grown.clear();
+    EXPECT_EQ(grown.size(), 0u);
+    EXPECT_EQ(grown.capacity(), cap);
+    for (const auto& wp : pts) grown.append(wp.p);
+    for (int j = 0; j < dim; ++j)
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(grown.col(j)[i], pts[i].p[j]);
+  }
+}
+
+TEST(Fuzz, BufferSliceAliasingAcrossSeeds) {
+  // Views are zero-copy: a slice's columns alias the parent's storage
+  // (pointer equality), nested subviews compose like index arithmetic, and
+  // per-row keys through a view match the parent's rows exactly.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 67);
+    const int dim = 1 + static_cast<int>(rng.uniform(Point::kMaxDim));
+    const std::size_t n = 16 + rng.uniform(200);
+    kernels::PointBuffer buf(dim);
+    buf.reserve(n);
+    std::vector<double> row(static_cast<std::size_t>(dim));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int j = 0; j < dim; ++j) row[static_cast<std::size_t>(j)] =
+          rng.uniform_real(-20, 20);
+      buf.append(row.data());
+    }
+    std::vector<double> q(static_cast<std::size_t>(dim));
+    for (int j = 0; j < dim; ++j)
+      q[static_cast<std::size_t>(j)] = rng.uniform_real(-20, 20);
+
+    for (int rep = 0; rep < 10; ++rep) {
+      const std::size_t off = rng.uniform(n);
+      const std::size_t cnt = 1 + rng.uniform(n - off);
+      const auto v = buf.view(off, cnt);
+      ASSERT_EQ(v.size(), cnt);
+      ASSERT_EQ(v.dim(), dim);
+      for (int j = 0; j < dim; ++j)
+        EXPECT_EQ(v.col(j), buf.col(j) + off) << "seed " << seed;  // no copy
+
+      const std::size_t i = rng.uniform(cnt);
+      EXPECT_EQ(v.key_to<Norm::L2>(i, q.data()),
+                buf.key_to<Norm::L2>(off + i, q.data()));
+
+      if (cnt >= 2) {
+        const std::size_t off2 = rng.uniform(cnt - 1);
+        const std::size_t cnt2 = 1 + rng.uniform(cnt - off2);
+        const auto nested = v.subview(off2, cnt2);
+        for (int j = 0; j < dim; ++j)
+          EXPECT_EQ(nested.col(j), buf.col(j) + off + off2);
+      }
+    }
   }
 }
 

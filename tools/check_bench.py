@@ -25,6 +25,14 @@ Compares a candidate JSONL file of ``engine_pipeline`` records (what
 Usage:
     tools/check_bench.py CANDIDATE BASELINE [--tolerance 3.0] [--ignore-time]
 
+A second mode gates the SoA kernel throughput (``--kernel``): the file's
+``hotpath_kernel_throughput`` records (bench_mbc_offline Part 5) are
+grouped by (n, d, norm) and the fused SIMD path must sustain at least
+``--min-speedup`` times the scalar AoS baseline's points/sec in every
+group.  The ratio is machine-independent (both variants run in the same
+process seconds apart), so a modest floor is a stable CI gate:
+    tools/check_bench.py --kernel bench.json --min-speedup 1.2
+
 Refreshing the committed baseline (BENCH_engine.json) after an intended
 behavioral or performance change:
     ./build/tools/kcenter_cli --pipeline all --n 2000 --k 3 --z 16 --eps 0.5 \
@@ -74,10 +82,66 @@ def load_records(path):
     return records
 
 
+def load_kernel_records(path):
+    """Last hotpath_kernel_throughput record per (n, d, norm, variant) —
+    appended bench logs gate the freshest run."""
+    records = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"{path}:{line_no}: not JSON: {exc}")
+            if rec.get("experiment") != "hotpath_kernel_throughput":
+                continue
+            key = (rec.get("n"), rec.get("d"), rec.get("norm"),
+                   rec.get("variant"))
+            records[key] = rec
+    if not records:
+        raise SystemExit(
+            f"{path}: no hotpath_kernel_throughput records found")
+    return records
+
+
+def check_kernel(path, min_speedup):
+    records = load_kernel_records(path)
+    groups = sorted({(n, d, norm) for (n, d, norm, _) in records})
+    failures = []
+    for n, d, norm in groups:
+        scalar = records.get((n, d, norm, "scalar_aos"))
+        simd = records.get((n, d, norm, "simd_soa"))
+        if scalar is None or simd is None:
+            failures.append(
+                f"n={n} d={d} {norm}: missing scalar_aos/simd_soa pair")
+            continue
+        ratio = float(simd["pts_per_sec"]) / float(scalar["pts_per_sec"])
+        status = "ok" if ratio >= min_speedup else "FAIL"
+        print(f"  n={n} d={d} {norm}: simd/scalar = {ratio:.2f}x "
+              f"({float(simd['pts_per_sec']) / 1e6:.0f} vs "
+              f"{float(scalar['pts_per_sec']) / 1e6:.0f} Mpts/s) [{status}]")
+        if ratio < min_speedup:
+            failures.append(
+                f"n={n} d={d} {norm}: simd/scalar speedup {ratio:.2f}x "
+                f"below the {min_speedup:g}x floor")
+    if failures:
+        print(f"check_bench: FAIL ({path}, kernel throughput)")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"check_bench: OK — {len(groups)} kernel configs at >= "
+          f"{min_speedup:g}x scalar throughput")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("candidate", help="fresh engine smoke JSONL")
-    parser.add_argument("baseline", help="committed baseline JSONL")
+    parser.add_argument("baseline", nargs="?", default=None,
+                        help="committed baseline JSONL (omitted in --kernel "
+                             "mode)")
     parser.add_argument("--tolerance", type=float, default=3.0,
                         help="allowed slowdown factor for timing columns")
     parser.add_argument("--ignore-time", action="store_true",
@@ -88,7 +152,18 @@ def main():
                              "same-runner comparisons (the --threads 8 vs 1 "
                              "determinism gate), where bit-identity is the "
                              "contract")
+    parser.add_argument("--kernel", action="store_true",
+                        help="gate the SoA kernel throughput records in "
+                             "CANDIDATE instead of diffing engine reports")
+    parser.add_argument("--min-speedup", type=float, default=1.2,
+                        help="--kernel mode: required simd/scalar points-per-"
+                             "sec ratio in every (n, d, norm) group")
     args = parser.parse_args()
+
+    if args.kernel:
+        return check_kernel(args.candidate, args.min_speedup)
+    if args.baseline is None:
+        parser.error("BASELINE is required unless --kernel is given")
 
     candidate = load_records(args.candidate)
     baseline = load_records(args.baseline)
