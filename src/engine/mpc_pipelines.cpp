@@ -13,6 +13,7 @@
 #include "engine/builtin.hpp"
 #include "engine/registry.hpp"
 #include "mpc/ceccarello.hpp"
+#include "mpc/faults.hpp"
 #include "mpc/guha.hpp"
 #include "mpc/multi_round.hpp"
 #include "mpc/one_round.hpp"
@@ -40,9 +41,13 @@ class MpcPipeline : public Pipeline {
     // Outputs are bit-identical for every cfg.num_threads (the registered
     // pipelines are swept over thread counts in tests/test_parallel.cpp).
     ThreadPool pool(cfg.num_threads);
+    // One injector per run: plan + policy + accounting + the permanent dead
+    // set.  Inactive (all probabilities zero) makes every simulator path
+    // byte-identical to the fault-free build.
+    mpc::FaultInjector faults(cfg.fault_config());
     PipelineResult res;
     Timer timer;
-    const mpc::MpcStats stats = run_mpc(parts, w, cfg, res, &pool);
+    const mpc::MpcStats stats = run_mpc(parts, w, cfg, res, &pool, &faults);
     res.report.build_ms = timer.millis();
     res.report.rounds = stats.rounds;
     res.report.words = stats.max_worker_words();
@@ -51,6 +56,7 @@ class MpcPipeline : public Pipeline {
                    static_cast<double>(stats.coordinator_words()));
     res.report.set("threads", static_cast<double>(stats.threads));
     res.report.set("map_ms", stats.map_ms);
+    if (faults.enabled()) stamp_fault_extras(res.report, stats.faults);
     extract_and_evaluate(res, w.planted.points, cfg, w, &pool);
     return res;
   }
@@ -64,11 +70,35 @@ class MpcPipeline : public Pipeline {
   }
 
   /// Runs the algorithm, fills `res.coreset` + algorithm-specific extras,
-  /// and returns the simulator stats.  `pool` drives the map phase.
+  /// and returns the simulator stats.  `pool` drives the map phase;
+  /// `faults` carries the run's (possibly inactive) fault plan.
   [[nodiscard]] virtual mpc::MpcStats run_mpc(
       const std::vector<WeightedSet>& parts, const Workload& w,
-      const PipelineConfig& cfg, PipelineResult& res,
-      ThreadPool* pool) const = 0;
+      const PipelineConfig& cfg, PipelineResult& res, ThreadPool* pool,
+      mpc::FaultInjector* faults) const = 0;
+
+ private:
+  /// Fault accounting lands in the report only when injection was active,
+  /// keeping fault-free reports byte-identical to the pre-fault ones.
+  static void stamp_fault_extras(PipelineReport& rep,
+                                 const mpc::FaultStats& fs) {
+    rep.set("fault_crashes", static_cast<double>(fs.crashes));
+    rep.set("fault_drops", static_cast<double>(fs.drops));
+    rep.set("fault_truncations", static_cast<double>(fs.truncations));
+    rep.set("fault_straggles", static_cast<double>(fs.straggles));
+    rep.set("fault_retries", static_cast<double>(fs.retries));
+    rep.set("fault_resends", static_cast<double>(fs.resends));
+    rep.set("fault_resent_words", static_cast<double>(fs.resent_words));
+    rep.set("fault_lost_words", static_cast<double>(fs.lost_words));
+    rep.set("fault_lost_weight", static_cast<double>(fs.lost_weight));
+    rep.set("fault_machines_lost", static_cast<double>(fs.machines_lost));
+    rep.set("fault_messages_lost", static_cast<double>(fs.messages_lost));
+    rep.set("fault_reassigned", static_cast<double>(fs.partitions_reassigned));
+    rep.set("fault_recovery_rounds", static_cast<double>(fs.recovery_rounds));
+    rep.set("fault_backoff_ms", fs.backoff_ms);
+    rep.set("fault_straggle_ms", fs.straggle_ms);
+    rep.set("degraded", fs.degraded ? 1.0 : 0.0);
+  }
 };
 
 class TwoRoundPipeline final : public MpcPipeline {
@@ -82,11 +112,13 @@ class TwoRoundPipeline final : public MpcPipeline {
   [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
                                       const Workload&,
                                       const PipelineConfig& cfg,
-                                      PipelineResult& res,
-                                      ThreadPool* pool) const override {
+                                      PipelineResult& res, ThreadPool* pool,
+                                      mpc::FaultInjector* faults)
+      const override {
     mpc::TwoRoundOptions opt;
     opt.eps = cfg.eps;
     opt.pool = pool;
+    opt.faults = faults;
     auto out = mpc::two_round_coreset(parts, cfg.k, cfg.z, cfg.metric(), opt);
     res.coreset = std::move(out.coreset);
     res.report.set("merged_size", static_cast<double>(out.merged.size()));
@@ -114,11 +146,13 @@ class OneRoundPipeline final : public MpcPipeline {
   [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
                                       const Workload& w,
                                       const PipelineConfig& cfg,
-                                      PipelineResult& res,
-                                      ThreadPool* pool) const override {
+                                      PipelineResult& res, ThreadPool* pool,
+                                      mpc::FaultInjector* faults)
+      const override {
     mpc::OneRoundOptions opt;
     opt.eps = cfg.eps;
     opt.pool = pool;
+    opt.faults = faults;
     auto out = mpc::one_round_coreset(parts, cfg.k, cfg.z, w.n(), cfg.metric(),
                                       opt);
     res.coreset = std::move(out.coreset);
@@ -143,12 +177,14 @@ class MultiRoundPipeline final : public MpcPipeline {
   [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
                                       const Workload&,
                                       const PipelineConfig& cfg,
-                                      PipelineResult& res,
-                                      ThreadPool* pool) const override {
+                                      PipelineResult& res, ThreadPool* pool,
+                                      mpc::FaultInjector* faults)
+      const override {
     mpc::MultiRoundOptions opt;
     opt.eps = cfg.eps;
     opt.rounds = cfg.rounds;
     opt.pool = pool;
+    opt.faults = faults;
     auto out = mpc::multi_round_coreset(parts, cfg.k, cfg.z, cfg.metric(), opt);
     res.coreset = std::move(out.coreset);
     res.report.set("beta", static_cast<double>(out.beta));
@@ -168,11 +204,13 @@ class CeccarelloPipeline final : public MpcPipeline {
   [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
                                       const Workload&,
                                       const PipelineConfig& cfg,
-                                      PipelineResult& res,
-                                      ThreadPool* pool) const override {
+                                      PipelineResult& res, ThreadPool* pool,
+                                      mpc::FaultInjector* faults)
+      const override {
     mpc::CeccarelloOptions opt;
     opt.eps = cfg.eps;
     opt.pool = pool;
+    opt.faults = faults;
     auto out = mpc::ceccarello_coreset(parts, cfg.k, cfg.z, cfg.metric(), opt);
     res.coreset = std::move(out.coreset);
     res.report.set("merged_size", static_cast<double>(out.merged.size()));
@@ -192,11 +230,13 @@ class GuhaPipeline final : public MpcPipeline {
   [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
                                       const Workload&,
                                       const PipelineConfig& cfg,
-                                      PipelineResult& res,
-                                      ThreadPool* pool) const override {
+                                      PipelineResult& res, ThreadPool* pool,
+                                      mpc::FaultInjector* faults)
+      const override {
     mpc::GuhaOptions opt;
     opt.eps = cfg.eps;
     opt.pool = pool;
+    opt.faults = faults;
     auto out =
         mpc::guha_local_z_coreset(parts, cfg.k, cfg.z, cfg.metric(), opt);
     res.coreset = std::move(out.coreset);

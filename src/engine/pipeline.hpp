@@ -30,6 +30,7 @@
 
 #include "core/types.hpp"
 #include "geometry/grid.hpp"
+#include "mpc/faults.hpp"
 #include "mpc/partition.hpp"
 #include "stream/insertion_only.hpp"
 #include "util/jsonlog.hpp"
@@ -82,6 +83,30 @@ struct PipelineConfig {
   mpc::PartitionKind partition = mpc::PartitionKind::EvenSorted;
   std::uint64_t partition_seed = 1;
   int rounds = 2;  ///< R for the R-round trade-off pipeline
+
+  // MPC fault-injection knobs (mpc/faults.hpp).  All probabilities default
+  // to 0 — an inactive plan takes exactly the pre-fault code paths, so
+  // fault-free reports are byte-identical with or without these fields.
+  std::uint64_t fault_seed = 0;
+  double fault_crash = 0.0;     ///< per machine-round-attempt crash prob
+  double fault_drop = 0.0;      ///< per message-attempt drop prob
+  double fault_truncate = 0.0;  ///< per point-message-attempt truncation prob
+  double fault_straggle = 0.0;  ///< per machine-round straggler prob
+  int fault_retries = 2;        ///< transport retry budget
+  mpc::RecoveryPolicy fault_policy = mpc::RecoveryPolicy::Retry;
+
+  /// The MPC fault plan these knobs describe.
+  [[nodiscard]] mpc::FaultConfig fault_config() const {
+    mpc::FaultConfig fc;
+    fc.seed = fault_seed;
+    fc.crash_prob = fault_crash;
+    fc.drop_prob = fault_drop;
+    fc.truncate_prob = fault_truncate;
+    fc.straggle_prob = fault_straggle;
+    fc.retry_budget = fault_retries;
+    fc.policy = fault_policy;
+    return fc;
+  }
 
   // Streaming knobs.
   stream::ThresholdPolicy policy = stream::ThresholdPolicy::Ours;

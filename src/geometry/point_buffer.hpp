@@ -32,6 +32,7 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -163,13 +164,17 @@ class BasicPointBuffer {
 
   /// Appends one row from raw coordinates (length dim()).  Coordinates are
   /// stored as T — for T = float this is the one narrowing point of the
-  /// float32 storage mode.
+  /// float32 storage mode.  NaN/Inf coordinates are rejected here, at the
+  /// single SoA ingest point, so no non-finite value ever reaches the
+  /// distance kernels (whose comparisons silently misbehave under NaN).
   void append(const double* coords) {
     KC_DCHECK(dim_ >= 1);
     if (n_ == cap_) relayout(cap_ < 8 ? 8 : cap_ * 2);
-    for (int j = 0; j < dim_; ++j)
+    for (int j = 0; j < dim_; ++j) {
+      KC_EXPECTS(std::isfinite(coords[j]) && "non-finite coordinate");
       data_[static_cast<std::size_t>(j) * cap_ + n_] =
           static_cast<T>(coords[j]);
+    }
     ++n_;
   }
 

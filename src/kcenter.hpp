@@ -30,6 +30,7 @@
 #include "util/flags.hpp"
 #include "util/jsonlog.hpp"
 #include "util/parallel.hpp"
+#include "util/retry.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -65,8 +66,10 @@
 #include "sketch/power_sum.hpp"
 #include "sketch/sparse_recovery.hpp"
 
-// mpc — massively parallel computation simulator and algorithms.
+// mpc — massively parallel computation simulator and algorithms, plus
+// deterministic fault injection and recovery.
 #include "mpc/ceccarello.hpp"
+#include "mpc/faults.hpp"
 #include "mpc/guha.hpp"
 #include "mpc/multi_round.hpp"
 #include "mpc/one_round.hpp"
@@ -90,6 +93,7 @@
 #include "lowerbound/sliding_lb.hpp"
 
 // workload — reproducible instance generators and stream drivers.
+#include "workload/adversarial.hpp"
 #include "workload/generators.hpp"
 #include "workload/streams.hpp"
 

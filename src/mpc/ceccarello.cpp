@@ -27,7 +27,7 @@ CeccarelloResult ceccarello_coreset(const std::vector<WeightedSet>& parts,
       std::pow(std::ceil(4.0 / opt.eps), dim));
   const std::int64_t tau = (static_cast<std::int64_t>(k) + z) * per_center + 1;
 
-  Simulator sim(m, dim, opt.pool);
+  Simulator sim(m, dim, opt.pool, opt.faults);
   std::vector<WeightedSet> local(static_cast<std::size_t>(m));
 
   sim.round([&](int id, std::vector<Message>& /*inbox*/,
@@ -47,19 +47,32 @@ CeccarelloResult ceccarello_coreset(const std::vector<WeightedSet>& parts,
     if (id != 0) {
       Message msg;
       msg.to = 0;
-      msg.points = local[uid];
+      msg.payload = PointPayload(local[uid]);
       outbox.push_back(std::move(msg));
     }
   });
 
+  // Missing shipments are recovered (or written off) per the injector's
+  // policy; the rebuild re-runs the deterministic Gonzalez summary.
+  const GatherResult gathered = gather_with_recovery(
+      sim, parts, std::move(local[0]), [&](int machine) -> WeightedSet {
+        const WeightedSet& mine = parts[static_cast<std::size_t>(machine)];
+        if (mine.empty()) return {};
+        const GonzalezResult g = gonzalez(
+            mine,
+            static_cast<int>(std::min<std::int64_t>(
+                tau, static_cast<std::int64_t>(mine.size()))),
+            metric);
+        return gonzalez_summary(mine, g);
+      });
+
   CeccarelloResult result;
   result.tau = tau;
   std::vector<WeightedSet> received;
-  received.push_back(local[0]);
-  result.local_coreset_sizes.push_back(local[0].size());
-  for (const auto& msg : sim.inbox(0)) {
-    received.push_back(msg.points);
-    result.local_coreset_sizes.push_back(msg.points.size());
+  received.reserve(gathered.shipments.size());
+  for (const auto& shipment : gathered.shipments) {
+    result.local_coreset_sizes.push_back(shipment.size());
+    received.push_back(shipment);
   }
   result.merged = merge_coresets(received);
   const MiniBallCovering final_mbc =

@@ -27,6 +27,7 @@ struct CeccarelloOptions {
   double eps = 0.5;
   OracleOptions oracle;  ///< used only for the coordinator recompression
   ThreadPool* pool = nullptr;  ///< runs the per-machine map phase (not owned)
+  FaultInjector* faults = nullptr;  ///< optional fault injection (not owned)
 };
 
 struct CeccarelloResult {

@@ -1,0 +1,245 @@
+// Deterministic fault injection and recovery for the MPC simulator.
+//
+// The paper's model (§1) assumes m machines that never fail and synchronous
+// rounds that always deliver.  The ROADMAP's distributed-backend item needs
+// the opposite: machine crashes, lost or truncated messages, and stragglers,
+// plus recovery that either restores the guarantee or *honestly degrades*
+// it.  The theory already licenses recovery: by Lemma 4 the union of any
+// subset of per-machine mini-ball coverings is a valid covering of the
+// union of their partitions, so losing a machine loses only that machine's
+// points from the guarantee — a (k, z + lost_weight) solution, never a
+// silently wrong one.
+//
+// Determinism contract (the PR 4 rule): every fault decision is a pure
+// counter-based hash of (seed, round, machine/edge, attempt) — never of
+// execution order — and all decisions are made in the *sequential* sections
+// of `Simulator::round` (pre-map crash/straggle resolution, in-order
+// routing).  The same seed therefore yields the same fault schedule, the
+// same recovery path, and bit-identical reports at every thread count.
+//
+// Layering:
+//  * `FaultPlan`     — the pure schedule oracle (stateless, hash-based);
+//  * `FaultInjector` — plan + config + mutable accounting + the permanent
+//    dead-machine set, handed to a `Simulator`;
+//  * transport recovery (crash re-execution, message re-send with backoff)
+//    lives in `Simulator::round`;
+//  * semantic recovery (reassigning a dead machine's partition, degrading
+//    to the surviving union) lives in the algorithms, via
+//    `gather_with_recovery` below and per-algorithm code (multi_round).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/retry.hpp"
+#include "util/rng.hpp"
+
+namespace kc::mpc {
+
+class Simulator;  // simulator.hpp (not included here: it includes us)
+struct Message;   // simulator.hpp
+
+/// What to do about work lost past the transport retry budget.
+enum class RecoveryPolicy : std::uint8_t {
+  Retry,     ///< transport retries only; losses degrade to the surviving union
+  Reassign,  ///< dead partitions are adopted by survivors in extra rounds
+  Degrade,   ///< no retries at all: accept every fault, degrade immediately
+};
+
+[[nodiscard]] const char* to_string(RecoveryPolicy policy) noexcept;
+/// Parses "retry" / "reassign" / "degrade"; returns false on anything else.
+[[nodiscard]] bool parse_recovery_policy(const std::string& name,
+                                         RecoveryPolicy* out) noexcept;
+
+struct FaultConfig {
+  std::uint64_t seed = 0;      ///< schedule seed (same seed ⇒ same schedule)
+  double crash_prob = 0.0;     ///< per machine-round-attempt crash probability
+  double drop_prob = 0.0;      ///< per message-attempt drop probability
+  double truncate_prob = 0.0;  ///< per point-message-attempt truncation prob
+  double straggle_prob = 0.0;  ///< per machine-round straggler probability
+  double straggle_ms = 5.0;    ///< simulated delay per straggle event
+  int retry_budget = 2;        ///< re-attempts past the first (crash & resend)
+  int max_recovery_rounds = 2; ///< Reassign: extra rounds before degrading
+  RecoveryPolicy policy = RecoveryPolicy::Retry;
+  Backoff backoff{};           ///< simulated retry latency accounting
+
+  /// Injection is active iff any fault has nonzero probability.  Inactive
+  /// configs take exactly the pre-fault code paths (byte-identical runs).
+  [[nodiscard]] bool active() const noexcept {
+    return crash_prob > 0.0 || drop_prob > 0.0 || truncate_prob > 0.0 ||
+           straggle_prob > 0.0;
+  }
+
+  /// Degrade accepts every fault on first occurrence; the other policies
+  /// spend the configured transport budget first.
+  [[nodiscard]] int effective_retry_budget() const noexcept {
+    return policy == RecoveryPolicy::Degrade ? 0 : retry_budget;
+  }
+};
+
+/// The pure fault schedule: every query is a counter-based splitmix64 hash
+/// of its coordinates, so the schedule is a function of the seed alone —
+/// independent of thread count, query order, or how often it is asked.
+/// Machine 0 (the coordinator) never crashes: in the paper's model its
+/// failure is the job's failure, and production coordinators are replicated.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(const FaultConfig& cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] bool crash(int round, int machine, int attempt) const noexcept {
+    if (machine == 0) return false;
+    return u(kCrash, round, machine, attempt) < cfg_.crash_prob;
+  }
+  [[nodiscard]] bool drop(int round, int from, int to,
+                          int attempt) const noexcept {
+    if (from == to) return false;  // local data movement cannot be lost
+    return u(kDrop, round, edge(from, to), attempt) < cfg_.drop_prob;
+  }
+  [[nodiscard]] bool truncate(int round, int from, int to,
+                              int attempt) const noexcept {
+    if (from == to) return false;
+    return u(kTrunc, round, edge(from, to), attempt) < cfg_.truncate_prob;
+  }
+  /// Fraction of a truncated payload that survives, in [1/4, 1).
+  [[nodiscard]] double truncate_keep_fraction(int round, int from,
+                                              int to) const noexcept {
+    return 0.25 + 0.75 * u(kTruncKeep, round, edge(from, to), 0);
+  }
+  [[nodiscard]] bool straggle(int round, int machine) const noexcept {
+    return u(kStraggle, round, machine, 0) < cfg_.straggle_prob;
+  }
+
+ private:
+  enum Stream : std::uint64_t {
+    kCrash = 0x1,
+    kDrop = 0x2,
+    kTrunc = 0x3,
+    kTruncKeep = 0x4,
+    kStraggle = 0x5,
+  };
+
+  static std::uint64_t edge(int from, int to) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+            << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+
+  [[nodiscard]] double u(std::uint64_t stream, int round, std::uint64_t key,
+                         int attempt) const noexcept {
+    std::uint64_t h = splitmix64(cfg_.seed ^ (stream * 0x9e3779b97f4a7c15ULL));
+    h = splitmix64(h ^ static_cast<std::uint64_t>(round));
+    h = splitmix64(h ^ key);
+    h = splitmix64(h ^ static_cast<std::uint64_t>(attempt));
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+
+  FaultConfig cfg_{};
+};
+
+/// Honest accounting of everything injected and everything it cost.
+/// Transport-level fields are filled by `Simulator::round`; the semantic
+/// fields (`lost_weight`, `partitions_reassigned`, `degraded`) by the
+/// algorithm-layer recovery.
+struct FaultStats {
+  int crashes = 0;       ///< crash events injected (incl. retried attempts)
+  int drops = 0;         ///< message-attempt drops injected
+  int truncations = 0;   ///< truncation events injected
+  int straggles = 0;     ///< straggler delays injected
+  int retries = 0;       ///< crash re-executions granted
+  int resends = 0;       ///< message re-send attempts
+  int machines_lost = 0; ///< machines dead past the retry budget
+  int messages_lost = 0; ///< messages dropped past the retry budget
+  int partitions_reassigned = 0;  ///< orphan shipments rebuilt by survivors
+  int recovery_rounds = 0;        ///< extra rounds spent on reassignment
+  std::size_t resent_words = 0;   ///< wire words spent on re-sends
+  std::size_t lost_words = 0;     ///< wire words of permanently lost payload
+  std::int64_t lost_weight = 0;   ///< input weight absent from the summary
+  double backoff_ms = 0.0;        ///< simulated retry backoff latency
+  double straggle_ms = 0.0;       ///< simulated straggler latency
+  /// The run fell back to the surviving union (Lemma 4): the result is a
+  /// valid (k, z + lost_weight) solution, but the pipeline's registered
+  /// quality bound is no longer certified.  Reports must carry this flag.
+  bool degraded = false;
+
+  [[nodiscard]] bool injected_any() const noexcept {
+    return crashes > 0 || drops > 0 || truncations > 0 || straggles > 0;
+  }
+};
+
+/// Plan + policy + accounting + the permanent dead set, shared by one
+/// simulator run (and its recovery rounds).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& cfg)
+      : cfg_(cfg), plan_(cfg) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return cfg_.active(); }
+  [[nodiscard]] const FaultConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] FaultStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] bool alive(int machine) const noexcept {
+    return machine < 0 ||
+           static_cast<std::size_t>(machine) >= dead_.size() ||
+           dead_[static_cast<std::size_t>(machine)] == 0;
+  }
+  void mark_dead(int machine) {
+    if (machine < 0) return;
+    if (static_cast<std::size_t>(machine) >= dead_.size())
+      dead_.resize(static_cast<std::size_t>(machine) + 1, 0);
+    dead_[static_cast<std::size_t>(machine)] = 1;
+  }
+
+ private:
+  FaultConfig cfg_;
+  FaultPlan plan_;
+  FaultStats stats_;
+  std::vector<char> dead_;
+};
+
+/// Deterministic adopter for a dead machine's partition: the first alive
+/// machine on the ring (dead+1, …, m−1, 1, …, dead−1), falling back to the
+/// coordinator when no worker survives.
+[[nodiscard]] int choose_adopter(const FaultInjector& faults, int machines,
+                                 int dead) noexcept;
+
+/// Rebuilds machine `i`'s shipment from its resident partition (machines
+/// are restartable: partitions are durable, per the index-based
+/// partitioning of PR 6).  Runs on the adopting machine during a recovery
+/// round; must be a pure function of `i`.
+using RebuildFn = std::function<WeightedSet(int machine)>;
+
+struct GatherResult {
+  /// Shipments in machine-id order; [0] is the coordinator's own summary.
+  /// Missing shipments that could not be recovered stay empty (their
+  /// weight is accounted in `FaultStats::lost_weight`).
+  std::vector<WeightedSet> shipments;
+};
+
+/// Receiver-side accounting for a transport-truncated point payload: the
+/// cut rows' weight is gone from the summary, and the registered bound can
+/// no longer be certified.  No-op when `faults` is null or nothing was cut.
+void account_payload_truncation(FaultInjector* faults, const Message& msg);
+
+/// Coordinator-side gather shared by the single-shipment algorithms
+/// (1-round, 2-round round 2, Ceccarello, Guha): collects the one point
+/// shipment expected from every machine 1..m−1 with a nonempty partition,
+/// then recovers the missing ones according to the injector's policy —
+/// Reassign runs up to `max_recovery_rounds` extra rounds in which
+/// deterministic adopters rebuild orphan shipments from the durable
+/// partitions (storage and communication honestly re-accounted, the fault
+/// plan still active); anything still missing afterwards (or under
+/// Retry/Degrade) is written off as lost weight and flags the run
+/// degraded.  With no active injector this reduces to the pre-fault
+/// gather, byte for byte.
+[[nodiscard]] GatherResult gather_with_recovery(
+    Simulator& sim, const std::vector<WeightedSet>& parts, WeightedSet own,
+    const RebuildFn& rebuild);
+
+}  // namespace kc::mpc

@@ -23,6 +23,7 @@ struct MultiRoundOptions {
   int rounds = 2;  ///< R ≥ 1
   OracleOptions oracle;
   ThreadPool* pool = nullptr;  ///< runs the per-machine map phases (not owned)
+  FaultInjector* faults = nullptr;  ///< optional fault injection (not owned)
 };
 
 struct MultiRoundResult {

@@ -28,7 +28,7 @@ OneRoundResult one_round_coreset(const std::vector<WeightedSet>& parts, int k,
       z, static_cast<std::int64_t>(
              std::ceil(6.0 * static_cast<double>(z) / m + 3.0 * logn)));
 
-  Simulator sim(m, dim, opt.pool);
+  Simulator sim(m, dim, opt.pool, opt.faults);
   std::vector<MiniBallCovering> local(static_cast<std::size_t>(m));
 
   sim.round([&](int id, std::vector<Message>& /*inbox*/,
@@ -42,20 +42,29 @@ OneRoundResult one_round_coreset(const std::vector<WeightedSet>& parts, int k,
     if (id != 0) {
       Message msg;
       msg.to = 0;
-      msg.points = mbc.reps;
+      msg.payload = PointPayload(mbc.reps);
       outbox.push_back(std::move(msg));
     }
     local[uid] = std::move(mbc);
   });
 
+  // Missing shipments are recovered (or written off) per the injector's
+  // policy; the rebuild simply re-runs the machine's deterministic local
+  // construction on its durable partition.
+  const GatherResult gathered = gather_with_recovery(
+      sim, parts, std::move(local[0].reps), [&](int machine) -> WeightedSet {
+        return mbc_construct(parts[static_cast<std::size_t>(machine)], k,
+                             z_local, opt.eps, metric, opt.oracle)
+            .reps;
+      });
+
   OneRoundResult result;
   result.z_local = z_local;
   std::vector<WeightedSet> received;
-  received.push_back(local[0].reps);
-  result.local_coreset_sizes.push_back(local[0].reps.size());
-  for (const auto& msg : sim.inbox(0)) {
-    received.push_back(msg.points);
-    result.local_coreset_sizes.push_back(msg.points.size());
+  received.reserve(gathered.shipments.size());
+  for (const auto& shipment : gathered.shipments) {
+    result.local_coreset_sizes.push_back(shipment.size());
+    received.push_back(shipment);
   }
   result.merged = merge_coresets(received);
   const MiniBallCovering final_mbc =

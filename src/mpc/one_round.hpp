@@ -22,6 +22,7 @@ struct OneRoundOptions {
   double eps = 0.5;
   OracleOptions oracle;
   ThreadPool* pool = nullptr;  ///< runs the per-machine map phase (not owned)
+  FaultInjector* faults = nullptr;  ///< optional fault injection (not owned)
 };
 
 struct OneRoundResult {

@@ -18,8 +18,11 @@ std::size_t MpcStats::coordinator_words() const {
   return peak_words.empty() ? 0 : peak_words[0];
 }
 
-Simulator::Simulator(int m, int dim, ThreadPool* pool)
-    : m_(m), dim_(dim), pool_(pool) {
+Simulator::Simulator(int m, int dim, ThreadPool* pool, FaultInjector* faults)
+    : m_(m),
+      dim_(dim),
+      pool_(pool),
+      faults_(faults != nullptr && faults->enabled() ? faults : nullptr) {
   KC_EXPECTS(m >= 1);
   KC_EXPECTS(dim >= 1);
   inboxes_.resize(static_cast<std::size_t>(m));
@@ -40,15 +43,60 @@ std::vector<Message>& Simulator::inbox(int id) {
   return inboxes_[static_cast<std::size_t>(id)];
 }
 
+MpcStats Simulator::stats() const {
+  MpcStats out = stats_;
+  if (faults_ != nullptr) out.faults = faults_->stats();
+  return out;
+}
+
 void Simulator::round(const RoundFn& fn) {
   std::vector<std::vector<Message>> outboxes(static_cast<std::size_t>(m_));
+  const int round_idx = stats_.rounds;
+
+  // Fault pre-phase (sequential, *before* the parallel map): resolve every
+  // crash/straggle decision from the counter-hashed plan so the schedule —
+  // and everything downstream of it — is identical at any thread count.
+  // Crash-at-round-start semantics: a crashed attempt does no observable
+  // work; the machine re-executes from its checkpointed state on the next
+  // attempt, up to the retry budget, after which it is permanently dead.
+  std::vector<char> runs(static_cast<std::size_t>(m_), 1);
+  if (faults_ != nullptr) {
+    auto& fs = faults_->stats();
+    const FaultPlan& plan = faults_->plan();
+    const FaultConfig& fc = faults_->config();
+    const int budget = fc.effective_retry_budget();
+    for (int id = 0; id < m_; ++id) {
+      const auto uid = static_cast<std::size_t>(id);
+      if (!faults_->alive(id)) {
+        runs[uid] = 0;
+        continue;
+      }
+      int attempt = 0;
+      while (plan.crash(round_idx, id, attempt)) {
+        ++fs.crashes;
+        if (attempt >= budget) {
+          faults_->mark_dead(id);
+          ++fs.machines_lost;
+          runs[uid] = 0;
+          break;
+        }
+        ++fs.retries;
+        fs.backoff_ms += fc.backoff.delay_ms(attempt + 1);
+        ++attempt;
+      }
+      if (runs[uid] != 0 && plan.straggle(round_idx, id)) {
+        ++fs.straggles;
+        fs.straggle_ms += fc.straggle_ms;
+      }
+    }
+  }
 
   // Map phase: one machine per task.  Each machine touches only its own
   // inbox/outbox (and whatever id-indexed state `fn` owns), so the pool
   // may schedule them in any order without affecting the result.
   Timer map_timer;
   const auto run_machine = [&](std::size_t id) {
-    fn(static_cast<int>(id), inboxes_[id], outboxes[id]);
+    if (runs[id] != 0) fn(static_cast<int>(id), inboxes_[id], outboxes[id]);
   };
   if (pool_ != nullptr && pool_->num_threads() > 1) {
     pool_->parallel_for(static_cast<std::size_t>(m_), 1,
@@ -62,16 +110,70 @@ void Simulator::round(const RoundFn& fn) {
   }
   stats_.map_ms += map_timer.millis();
 
-  // Route messages; this is the communication phase of the round.
+  // Route messages; this is the communication phase of the round.  Under
+  // fault injection each delivery may take several attempts: every attempt
+  // burns its bandwidth (the message was on the wire and lost), re-sends
+  // past the first are accounted as such, and a message dropped on every
+  // attempt is gone for good — the *semantic* consequence (lost weight,
+  // degraded bound) is judged by the algorithm-layer recovery, which knows
+  // what the message meant.
   std::size_t round_words = 0;
   for (auto& box : inboxes_) box.clear();
   for (int from = 0; from < m_; ++from) {
     for (auto& msg : outboxes[static_cast<std::size_t>(from)]) {
       KC_EXPECTS(msg.to >= 0 && msg.to < m_);
       msg.from = from;
-      // A self-addressed message is local data movement, not communication.
-      if (msg.to != from) round_words += msg.words(dim_);
-      inboxes_[static_cast<std::size_t>(msg.to)].push_back(std::move(msg));
+      // A self-addressed message is local data movement, not communication
+      // — and never faulted.
+      if (msg.to == from) {
+        inboxes_[static_cast<std::size_t>(msg.to)].push_back(std::move(msg));
+        continue;
+      }
+      if (faults_ == nullptr) {
+        round_words += msg.words(dim_);
+        inboxes_[static_cast<std::size_t>(msg.to)].push_back(std::move(msg));
+        continue;
+      }
+      auto& fs = faults_->stats();
+      const FaultPlan& plan = faults_->plan();
+      const FaultConfig& fc = faults_->config();
+      const int budget = fc.effective_retry_budget();
+      const std::size_t wire = msg.words(dim_);
+      bool delivered = false;
+      for (int attempt = 0; attempt <= budget; ++attempt) {
+        round_words += wire;
+        if (attempt > 0) {
+          ++fs.resends;
+          fs.resent_words += wire;
+          fs.backoff_ms += fc.backoff.delay_ms(attempt);
+        }
+        if (plan.drop(round_idx, from, msg.to, attempt)) {
+          ++fs.drops;
+          continue;
+        }
+        if (msg.payload.full_size() > 0 &&
+            plan.truncate(round_idx, from, msg.to, attempt)) {
+          ++fs.truncations;
+          // A truncated transfer fails its checksum and is retried like a
+          // drop — except on the final attempt, where the surviving prefix
+          // is delivered (partial data beats none; the receiver accounts
+          // the cut weight and flags degradation).
+          if (attempt < budget) continue;
+          const std::size_t keep = static_cast<std::size_t>(
+              plan.truncate_keep_fraction(round_idx, from, msg.to) *
+              static_cast<double>(msg.payload.full_size()));
+          msg.payload.truncate_to(keep);
+          fs.lost_words += wire - msg.words(dim_);
+        }
+        delivered = true;
+        break;
+      }
+      if (delivered) {
+        inboxes_[static_cast<std::size_t>(msg.to)].push_back(std::move(msg));
+      } else {
+        ++fs.messages_lost;
+        fs.lost_words += wire;
+      }
     }
   }
   stats_.comm_words_per_round.push_back(round_words);

@@ -6,7 +6,7 @@
 // words.  The design mirrors MPI's message-passing discipline: a round is
 // local computation followed by message exchange; messages carry either
 // scalar vectors (the V_i radius tables of Algorithm 2) or weighted point
-// sets (coreset shipments).
+// sets (coreset shipments, packed once into a SoA `PointPayload`).
 //
 // What we account, following the model rather than process RSS:
 //  * one coordinate = 1 word, so a weighted point in R^d = d+1 words;
@@ -14,7 +14,9 @@
 //  * per-machine peak storage = max over rounds of (resident input points +
 //    received messages + locally built summaries), self-reported by the
 //    algorithms through `record_storage`;
-//  * per-round and total communication volume in words.
+//  * per-round and total communication volume in words — including, under
+//    fault injection, the bandwidth burned by dropped attempts and
+//    re-sends.
 //
 // Machine-local work within a round is embarrassingly parallel and runs on
 // a `kc::ThreadPool` when one is supplied (one machine per task, merged in
@@ -22,6 +24,18 @@
 // map-phase wall time and the thread count are recorded in MpcStats; with
 // no pool (or a single-thread pool) the machines run sequentially with
 // bit-identical results.
+//
+// Fault model (mpc/faults.hpp): an optional `FaultInjector` adds machine
+// crashes, message drops/truncations, and stragglers.  All fault decisions
+// are resolved in the sequential sections of `round` (never in the
+// parallel map phase), so a fixed fault seed gives the same schedule at
+// every thread count.  Crash semantics are crash-at-round-start with
+// checkpointed round boundaries: a crashed attempt does no observable work
+// and is re-executed (up to the retry budget) from the machine's durable
+// state — its resident partition plus previously delivered messages.  A
+// machine that exhausts the budget is permanently dead and skips all later
+// rounds.  Without an (active) injector every code path below is exactly
+// the pre-fault one.
 
 #pragma once
 
@@ -30,20 +44,82 @@
 #include <vector>
 
 #include "geometry/point.hpp"
+#include "geometry/point_buffer.hpp"
+#include "mpc/faults.hpp"
 #include "util/parallel.hpp"
 
 namespace kc::mpc {
+
+/// Weighted-point message payload, packed once at send time into the
+/// canonical SoA layout (coordinates columns + a weight column).  Re-sends
+/// under fault retries ship the same packing — no per-attempt re-pack —
+/// and transport truncation is a prefix cut: `size()` (and therefore
+/// `Message::words`) accounts only the rows that were actually delivered.
+class PointPayload {
+ public:
+  PointPayload() = default;
+
+  explicit PointPayload(const WeightedSet& pts) {
+    if (pts.empty()) return;
+    coords_ = kernels::PointBuffer(pts);
+    weights_.reserve(pts.size());
+    for (const auto& wp : pts) weights_.push_back(wp.w);
+    shipped_ = pts.size();
+  }
+
+  /// Rows delivered (≤ full_size() after truncation).
+  [[nodiscard]] std::size_t size() const noexcept { return shipped_; }
+  /// Rows packed at send time.
+  [[nodiscard]] std::size_t full_size() const noexcept {
+    return weights_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return shipped_ == 0; }
+  [[nodiscard]] bool truncated() const noexcept {
+    return shipped_ < weights_.size();
+  }
+
+  /// Transport truncation: keep only the first `keep` rows.
+  void truncate_to(std::size_t keep) noexcept {
+    if (keep < shipped_) shipped_ = keep;
+  }
+
+  /// Weight carried by the rows cut off by truncation.
+  [[nodiscard]] std::int64_t cut_weight() const noexcept {
+    std::int64_t w = 0;
+    for (std::size_t i = shipped_; i < weights_.size(); ++i) w += weights_[i];
+    return w;
+  }
+
+  /// Delivered rows unpacked to the AoS boundary type.
+  [[nodiscard]] WeightedSet unpack() const {
+    WeightedSet out;
+    append_to(out);
+    return out;
+  }
+
+  void append_to(WeightedSet& out) const {
+    out.reserve(out.size() + shipped_);
+    for (std::size_t i = 0; i < shipped_; ++i)
+      out.push_back({coords_.point(i), weights_[i]});
+  }
+
+ private:
+  kernels::PointBuffer coords_;
+  std::vector<std::int64_t> weights_;
+  std::size_t shipped_ = 0;
+};
 
 /// A message between machines.  Either payload may be empty.
 struct Message {
   int from = 0;
   int to = 0;
   std::vector<double> scalars;
-  WeightedSet points;
+  PointPayload payload;
 
-  /// Words on the wire: scalars + (dim+1) per weighted point.
+  /// Words on the wire: scalars + (dim+1) per *delivered* weighted point
+  /// (a truncated payload is accounted at its truncated size).
   [[nodiscard]] std::size_t words(int dim) const noexcept {
-    return scalars.size() + points.size() * static_cast<std::size_t>(dim + 1);
+    return scalars.size() + payload.size() * static_cast<std::size_t>(dim + 1);
   }
 };
 
@@ -56,6 +132,7 @@ struct MpcStats {
   std::vector<std::size_t> peak_words;  ///< per machine
   std::vector<std::size_t> comm_words_per_round;
   std::size_t total_comm_words = 0;
+  FaultStats faults;  ///< all-zero when no injector was attached
 
   /// Peak storage over worker machines (ids ≥ 1).
   [[nodiscard]] std::size_t max_worker_words() const;
@@ -67,11 +144,22 @@ class Simulator {
  public:
   /// m ≥ 1 machines in dimension dim.  Machine 0 is the coordinator.
   /// `pool` (optional, not owned) runs the per-machine map phase of each
-  /// round concurrently; it must outlive the simulator.
-  explicit Simulator(int m, int dim, ThreadPool* pool = nullptr);
+  /// round concurrently; it must outlive the simulator.  `faults`
+  /// (optional, not owned) injects the deterministic fault schedule; an
+  /// inactive injector is equivalent to none.
+  explicit Simulator(int m, int dim, ThreadPool* pool = nullptr,
+                     FaultInjector* faults = nullptr);
 
   [[nodiscard]] int machines() const noexcept { return m_; }
   [[nodiscard]] int dim() const noexcept { return dim_; }
+
+  /// The attached injector when it is active, else nullptr.
+  [[nodiscard]] FaultInjector* faults() const noexcept { return faults_; }
+
+  /// False once the machine crashed past its retry budget.
+  [[nodiscard]] bool alive(int id) const noexcept {
+    return faults_ == nullptr || faults_->alive(id);
+  }
 
   /// Registers `words` as currently resident on machine `id`; the peak is
   /// tracked.  Algorithms call this with their full resident footprint at
@@ -89,7 +177,10 @@ class Simulator {
   /// across ids), then outgoing messages are routed in machine-index order
   /// and become the next round's inboxes.  Communication volume is
   /// accounted per round; the map phase's wall time accumulates in
-  /// `stats().map_ms`.
+  /// `stats().map_ms`.  Under an active injector, crashed machines are
+  /// deterministically re-executed up to the retry budget (then skipped
+  /// for good), messages are dropped/truncated/re-sent per the plan, and
+  /// every attempt's bandwidth is accounted.
   using RoundFn =
       std::function<void(int id, std::vector<Message>& inbox,
                          std::vector<Message>& outbox)>;
@@ -98,12 +189,15 @@ class Simulator {
   /// Inbox currently waiting at machine `id` (delivered by the last round).
   [[nodiscard]] std::vector<Message>& inbox(int id);
 
-  [[nodiscard]] const MpcStats& stats() const noexcept { return stats_; }
+  /// Snapshot of the measured quantities, with the injector's fault
+  /// accounting folded in.
+  [[nodiscard]] MpcStats stats() const;
 
  private:
   int m_;
   int dim_;
-  ThreadPool* pool_;  ///< not owned; nullptr = sequential map phase
+  ThreadPool* pool_;          ///< not owned; nullptr = sequential map phase
+  FaultInjector* faults_;     ///< not owned; nullptr = no fault injection
   std::vector<std::vector<Message>> inboxes_;
   MpcStats stats_;
 };

@@ -22,7 +22,11 @@ int guess_levels(std::int64_t z) {
 // The r̂ rule of Round 2.  `tables[ℓ][j]` = V_ℓ[j].  Returns the smallest
 // r among all table entries such that every machine has some V_ℓ[j] ≤ r and
 // Σ_ℓ (2^{min{j : V_ℓ[j] ≤ r}} − 1) ≤ 2z.  The sum is non-increasing in r,
-// so we binary-search the sorted candidate set.
+// so we binary-search the sorted candidate set.  Empty tables (machines
+// that are dead or whose broadcast was lost to fault injection) are
+// skipped: the rule is evaluated over the tables this machine actually
+// holds — still a well-defined threshold, though the global Σ ≤ 2z
+// certificate is then no longer certified (the caller flags degradation).
 double compute_r_hat(const std::vector<std::vector<double>>& tables,
                      std::int64_t z) {
   std::vector<double> candidates;
@@ -36,6 +40,7 @@ double compute_r_hat(const std::vector<std::vector<double>>& tables,
   auto qualifies = [&](double r) {
     std::int64_t sum = 0;
     for (const auto& t : tables) {
+      if (t.empty()) continue;  // unknown table: not this machine's problem
       int jmin = -1;
       for (std::size_t j = 0; j < t.size(); ++j) {
         if (t[j] <= r) {
@@ -79,7 +84,8 @@ TwoRoundResult two_round_coreset(const std::vector<WeightedSet>& parts, int k,
       break;
     }
 
-  Simulator sim(m, dim, opt.pool);
+  Simulator sim(m, dim, opt.pool, opt.faults);
+  FaultInjector* faults = sim.faults();
   const int levels = guess_levels(z) + 1;  // j = 0..J inclusive
 
   // Per-machine state living across rounds.
@@ -87,9 +93,14 @@ TwoRoundResult two_round_coreset(const std::vector<WeightedSet>& parts, int k,
   std::vector<std::vector<double>> rho_table(static_cast<std::size_t>(m));
   std::vector<MiniBallCovering> local_mbc(static_cast<std::size_t>(m));
   std::vector<double> r_hat_seen(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> rho_max_seen(static_cast<std::size_t>(m), 1.0);
   std::vector<std::int64_t> guess_of(static_cast<std::size_t>(m), 0);
 
   // ---- Round 1: compute V_i and broadcast. ----------------------------
+  const int losses_before =
+      faults != nullptr
+          ? faults->stats().messages_lost + faults->stats().machines_lost
+          : 0;
   sim.round([&](int id, std::vector<Message>& /*inbox*/,
                 std::vector<Message>& outbox) {
     const auto uid = static_cast<std::size_t>(id);
@@ -117,6 +128,14 @@ TwoRoundResult two_round_coreset(const std::vector<WeightedSet>& parts, int k,
       outbox.push_back(std::move(copy));
     }
   });
+  // A lost broadcast (or a machine dead before broadcasting) means the
+  // machines no longer share one table set: each still computes a valid
+  // covering from what it holds, but the Σ ≤ 2z size certificate of
+  // Theorem 10 is gone — the run must report the degraded bound.
+  if (faults != nullptr &&
+      faults->stats().messages_lost + faults->stats().machines_lost >
+          losses_before)
+    faults->stats().degraded = true;
 
   // ---- Round 2: agree on r̂, build local coverings, ship them. --------
   sim.round([&](int id, std::vector<Message>& inbox,
@@ -124,8 +143,8 @@ TwoRoundResult two_round_coreset(const std::vector<WeightedSet>& parts, int k,
     const auto uid = static_cast<std::size_t>(id);
     const WeightedSet& mine = parts[uid];
 
-    // Reassemble all tables (own + received) — every machine sees the same
-    // set and therefore computes the same r̂ deterministically.
+    // Reassemble all tables (own + received) — with full delivery every
+    // machine sees the same set and computes the same r̂ deterministically.
     std::vector<std::vector<double>> all_v(static_cast<std::size_t>(m));
     double rho_max = 1.0;
     all_v[uid] = v_table[uid];
@@ -145,6 +164,7 @@ TwoRoundResult two_round_coreset(const std::vector<WeightedSet>& parts, int k,
 
     const double r_hat = compute_r_hat(all_v, z);
     r_hat_seen[uid] = r_hat;
+    rho_max_seen[uid] = rho_max;
 
     // ĵ_i = min{j : V_i[j] ≤ r̂}; exists by construction of r̂.
     int j_hat = -1;
@@ -171,20 +191,41 @@ TwoRoundResult two_round_coreset(const std::vector<WeightedSet>& parts, int k,
     if (id != 0) {
       Message out;
       out.to = 0;
-      out.points = mbc.reps;
+      out.payload = PointPayload(mbc.reps);
       outbox.push_back(std::move(out));
     }
     local_mbc[uid] = std::move(mbc);
   });
 
   // ---- Coordinator: merge and recompress. ------------------------------
+  // Missing shipments (dead machines, lost messages) are recovered per the
+  // injector's policy.  The rebuild re-derives the machine's deterministic
+  // round-2 computation from its durable partition and the coordinator's
+  // table view; a machine whose V table never existed (dead in round 1)
+  // falls back to the always-valid full-z local covering.
+  const GatherResult gathered = gather_with_recovery(
+      sim, parts, local_mbc[0].reps, [&](int machine) -> WeightedSet {
+        const auto ui = static_cast<std::size_t>(machine);
+        if (!v_table[ui].empty()) {
+          for (int j = 0; j < levels; ++j) {
+            if (v_table[ui][static_cast<std::size_t>(j)] <= r_hat_seen[0]) {
+              const double r_i = v_table[ui][static_cast<std::size_t>(j)];
+              return mbc_with_radius(parts[ui],
+                                     opt.eps * r_i / rho_max_seen[0], metric)
+                  .reps;
+            }
+          }
+        }
+        return mbc_construct(parts[ui], k, z, opt.eps, metric, opt.oracle)
+            .reps;
+      });
+
   TwoRoundResult result;
   std::vector<WeightedSet> received;
-  received.push_back(local_mbc[0].reps);
-  result.local_coreset_sizes.push_back(local_mbc[0].reps.size());
-  for (const auto& msg : sim.inbox(0)) {
-    received.push_back(msg.points);
-    result.local_coreset_sizes.push_back(msg.points.size());
+  received.reserve(gathered.shipments.size());
+  for (const auto& shipment : gathered.shipments) {
+    result.local_coreset_sizes.push_back(shipment.size());
+    received.push_back(shipment);
   }
   result.merged = merge_coresets(received);
   const MiniBallCovering final_mbc =

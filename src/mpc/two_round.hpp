@@ -34,6 +34,7 @@ struct TwoRoundOptions {
   double eps = 0.5;
   OracleOptions oracle;   ///< radius oracle used for the V_i tables
   ThreadPool* pool = nullptr;  ///< runs the per-machine map phases (not owned)
+  FaultInjector* faults = nullptr;  ///< optional fault injection (not owned)
 };
 
 struct TwoRoundResult {

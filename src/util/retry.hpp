@@ -1,0 +1,40 @@
+// Deterministic retry/backoff schedule.
+//
+// A pure function from attempt number to simulated delay: no clocks, no
+// randomness, so the same schedule is reproduced on every run and at every
+// thread count.  The MPC fault injector (mpc/faults.hpp) uses it to account
+// the latency cost of crash re-executions and message re-sends; a future
+// multi-process backend (kcenterd) can reuse the same schedule for real
+// sleeps without changing any accounting.
+
+#pragma once
+
+#include <algorithm>
+
+namespace kc {
+
+/// Capped exponential backoff: attempt a (1-based) waits
+/// min(max_ms, base_ms · factor^{a−1}).
+struct Backoff {
+  double base_ms = 1.0;
+  double factor = 2.0;
+  double max_ms = 64.0;
+
+  [[nodiscard]] double delay_ms(int attempt) const noexcept {
+    double d = base_ms;
+    for (int a = 1; a < attempt; ++a) {
+      d *= factor;
+      if (d >= max_ms) return max_ms;
+    }
+    return std::min(d, max_ms);
+  }
+
+  /// Total simulated wait across attempts 1..n.
+  [[nodiscard]] double total_ms(int attempts) const noexcept {
+    double sum = 0.0;
+    for (int a = 1; a <= attempts; ++a) sum += delay_ms(a);
+    return sum;
+  }
+};
+
+}  // namespace kc

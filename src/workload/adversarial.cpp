@@ -1,0 +1,78 @@
+#include "workload/adversarial.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace kc {
+
+namespace {
+
+PlantedConfig base_config(std::size_t n, int k, std::int64_t z, int dim,
+                          Norm norm, std::uint64_t seed) {
+  PlantedConfig cfg;
+  cfg.n = n;
+  cfg.k = k;
+  cfg.z = z;
+  cfg.dim = dim;
+  cfg.norm = norm;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+PlantedInstance make_outlier_burst(std::size_t n, int k, std::int64_t z,
+                                   int dim, Norm norm, std::uint64_t seed) {
+  PlantedConfig cfg = base_config(n, k, z, dim, norm, seed);
+  cfg.outliers = OutlierPattern::Burst;
+  return make_planted(cfg);
+}
+
+PlantedInstance make_duplicate_flood(std::size_t n, int k, std::int64_t z,
+                                     int dim, Norm norm, std::uint64_t seed) {
+  PlantedConfig cfg = base_config(n, k, z, dim, norm, seed);
+  cfg.duplicates = 8;
+  return make_planted(cfg);
+}
+
+PlantedInstance make_heavy_tailed(std::size_t n, int k, std::int64_t z,
+                                  int dim, Norm norm, std::uint64_t seed) {
+  PlantedConfig cfg = base_config(n, k, z, dim, norm, seed);
+  const auto zu = static_cast<std::size_t>(z);
+  const std::size_t mandatory = static_cast<std::size_t>(k) * (zu + 1);
+  KC_EXPECTS(n >= mandatory + zu);
+  const std::size_t free_mass = n - zu - mandatory;
+
+  // Power-law shares p_c ∝ (c+1)^−2 of the free mass; remainders go to the
+  // head so the tail clusters stay at their mandatory minimum.
+  std::vector<double> shares(static_cast<std::size_t>(k));
+  double sum = 0.0;
+  for (int c = 0; c < k; ++c) {
+    shares[static_cast<std::size_t>(c)] =
+        1.0 / ((static_cast<double>(c) + 1.0) * (static_cast<double>(c) + 1.0));
+    sum += shares[static_cast<std::size_t>(c)];
+  }
+  cfg.cluster_sizes.assign(static_cast<std::size_t>(k), zu + 1);
+  std::size_t given = 0;
+  for (int c = 0; c < k; ++c) {
+    const auto extra = static_cast<std::size_t>(
+        std::floor(static_cast<double>(free_mass) *
+                   shares[static_cast<std::size_t>(c)] / sum));
+    cfg.cluster_sizes[static_cast<std::size_t>(c)] += extra;
+    given += extra;
+  }
+  cfg.cluster_sizes[0] += free_mass - given;
+  return make_planted(cfg);
+}
+
+const std::vector<AdversarialScenario>& adversarial_scenarios() {
+  static const std::vector<AdversarialScenario> scenarios = {
+      {"outlier-burst", &make_outlier_burst},
+      {"duplicate-flood", &make_duplicate_flood},
+      {"heavy-tailed", &make_heavy_tailed},
+  };
+  return scenarios;
+}
+
+}  // namespace kc

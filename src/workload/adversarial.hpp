@@ -1,0 +1,60 @@
+// Adversarial workload generators (robustness satellite of the fault PR).
+//
+// Three planted-instance families that stress the summaries in ways the
+// default even/spread instance does not, while keeping the certified
+// optimum bracket of generators.hpp (so tests can still assert quality
+// bounds against opt_hi):
+//
+//  * outlier burst   — the z outliers form one tight clump of diameter
+//    ≤ 2R.  To a local summary it looks exactly like a small cluster; the
+//    outlier-guessing machinery must still refuse to spend a center on it
+//    (any ball covering the clump strands a real ≥ z+1 cluster).
+//  * near-duplicate flood — every distinct cluster point is replicated
+//    into many copies jittered by ≤ 1e-9·R.  Stresses mini-ball coverings
+//    and Gonzalez summaries whose size arguments assume spread inputs, and
+//    any dedup-hostile bookkeeping (weights must add up exactly).
+//  * heavy-tailed sizes — cluster masses follow a power law (first cluster
+//    holds almost everything), the adversarial distribution for MPC
+//    partitions: some machines see a single cluster, some see only tail.
+//
+// Scenarios are registered in `adversarial_scenarios()`; test_engine runs
+// every registered pipeline against every scenario.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/generators.hpp"
+
+namespace kc {
+
+/// The z outliers as one tight clump (OutlierPattern::Burst).
+[[nodiscard]] PlantedInstance make_outlier_burst(std::size_t n, int k,
+                                                 std::int64_t z, int dim,
+                                                 Norm norm,
+                                                 std::uint64_t seed);
+
+/// Every cluster point replicated ~8× with ≤ 1e-9·R jitter.
+[[nodiscard]] PlantedInstance make_duplicate_flood(std::size_t n, int k,
+                                                   std::int64_t z, int dim,
+                                                   Norm norm,
+                                                   std::uint64_t seed);
+
+/// Power-law cluster masses: cluster c gets a share ∝ (c+1)^−2 of the
+/// free mass on top of its mandatory z+1 points.
+[[nodiscard]] PlantedInstance make_heavy_tailed(std::size_t n, int k,
+                                                std::int64_t z, int dim,
+                                                Norm norm, std::uint64_t seed);
+
+/// A named adversarial instance family.
+struct AdversarialScenario {
+  const char* name;
+  PlantedInstance (*make)(std::size_t n, int k, std::int64_t z, int dim,
+                          Norm norm, std::uint64_t seed);
+};
+
+/// All registered scenarios, in stable order.
+[[nodiscard]] const std::vector<AdversarialScenario>& adversarial_scenarios();
+
+}  // namespace kc

@@ -69,7 +69,10 @@ PlantedInstance make_planted(const PlantedConfig& cfg) {
   KC_EXPECTS(cfg.k >= 1);
   KC_EXPECTS(cfg.z >= 0);
   KC_EXPECTS(cfg.dim >= 1 && cfg.dim <= Point::kMaxDim);
+  KC_EXPECTS(std::isfinite(cfg.cluster_radius) && cfg.cluster_radius > 0.0);
+  KC_EXPECTS(std::isfinite(cfg.separation));
   KC_EXPECTS(cfg.separation >= 20.0);
+  KC_EXPECTS(cfg.duplicates >= 1);
   const auto z = static_cast<std::size_t>(cfg.z);
   KC_EXPECTS(cfg.n >= static_cast<std::size_t>(cfg.k) * (z + 1) + z);
 
@@ -89,7 +92,18 @@ PlantedInstance make_planted(const PlantedConfig& cfg) {
   std::size_t assigned = static_cast<std::size_t>(cfg.k) * (z + 1);
   KC_EXPECTS(assigned <= cluster_total);
   std::size_t remaining = cluster_total - assigned;
-  if (cfg.skew <= 0.0) {
+  if (!cfg.cluster_sizes.empty()) {
+    // Explicit split (heavy-tailed adversarial workloads plant it exactly).
+    KC_EXPECTS(cfg.cluster_sizes.size() == static_cast<std::size_t>(cfg.k));
+    std::size_t sum = 0;
+    for (std::size_t s : cfg.cluster_sizes) {
+      KC_EXPECTS(s >= z + 1);
+      sum += s;
+    }
+    KC_EXPECTS(sum == cluster_total);
+    sizes = cfg.cluster_sizes;
+    remaining = 0;
+  } else if (cfg.skew <= 0.0) {
     for (std::size_t i = 0; remaining > 0; i = (i + 1) % sizes.size()) {
       ++sizes[i];
       --remaining;
@@ -120,23 +134,45 @@ PlantedInstance make_planted(const PlantedConfig& cfg) {
   std::vector<std::vector<Point>> clusters(static_cast<std::size_t>(cfg.k));
   for (int c = 0; c < cfg.k; ++c) {
     auto& cluster = clusters[static_cast<std::size_t>(c)];
-    cluster.reserve(sizes[static_cast<std::size_t>(c)]);
-    for (std::size_t i = 0; i < sizes[static_cast<std::size_t>(c)]; ++i) {
+    const std::size_t size = sizes[static_cast<std::size_t>(c)];
+    cluster.reserve(size);
+    // Near-duplicate flood: ⌈size/duplicates⌉ distinct samples, each
+    // replicated with jitter ≤ 1e-9·R (stress for dedup-hostile summaries).
+    const std::size_t distinct = (size + cfg.duplicates - 1) / cfg.duplicates;
+    PointSet bases;
+    bases.reserve(distinct);
+    for (std::size_t i = 0; i < distinct; ++i) {
       const Point offset =
           sample_unit_ball(rng, cfg.dim, cfg.norm) * cfg.cluster_radius;
-      cluster.push_back(inst.planted_centers[static_cast<std::size_t>(c)] + offset);
+      bases.push_back(inst.planted_centers[static_cast<std::size_t>(c)] +
+                      offset);
+    }
+    for (std::size_t i = 0; i < size; ++i) {
+      Point p = bases[i / cfg.duplicates];
+      if (cfg.duplicates > 1 && i % cfg.duplicates != 0)
+        for (int dcoord = 0; dcoord < cfg.dim; ++dcoord)
+          p[dcoord] += rng.uniform_real(-1e-9, 1e-9) * cfg.cluster_radius;
+      cluster.push_back(p);
     }
   }
 
-  // Outliers: far along the negative first axis, pairwise ≥ spacing apart.
+  // Outliers.  Spread: far along the negative first axis, pairwise
+  // ≥ spacing apart.  Burst: one tight clump of diameter ≤ 2R at
+  // −2·spacing — any ball covering the clump strands a ≥ z+1 cluster, so
+  // the bracket certificate below still holds.
   PointSet outliers;
   outliers.reserve(z);
   for (std::size_t i = 0; i < z; ++i) {
     Point o(cfg.dim, 0.0);
-    o[0] = -spacing * (2.0 + static_cast<double>(i));
-    // jitter the remaining axes slightly so outliers are not collinear
-    for (int dcoord = 1; dcoord < cfg.dim; ++dcoord)
-      o[dcoord] = rng.uniform_real(0.0, cfg.cluster_radius);
+    if (cfg.outliers == OutlierPattern::Burst) {
+      o = sample_unit_ball(rng, cfg.dim, cfg.norm) * cfg.cluster_radius;
+      o[0] -= 2.0 * spacing;
+    } else {
+      o[0] = -spacing * (2.0 + static_cast<double>(i));
+      // jitter the remaining axes slightly so outliers are not collinear
+      for (int dcoord = 1; dcoord < cfg.dim; ++dcoord)
+        o[dcoord] = rng.uniform_real(0.0, cfg.cluster_radius);
+    }
     outliers.push_back(o);
   }
 
@@ -182,6 +218,7 @@ PlantedInstance make_planted(const PlantedConfig& cfg) {
 
 WeightedSet make_uniform(std::size_t n, int dim, double side,
                          std::uint64_t seed) {
+  KC_EXPECTS(std::isfinite(side) && "non-finite extent");
   Rng rng(seed);
   WeightedSet out;
   out.reserve(n);

@@ -30,6 +30,14 @@
 
 namespace kc {
 
+/// Where the z planted outliers go.
+enum class OutlierPattern : std::uint8_t {
+  Spread,  ///< pairwise ≥ separation·R apart along the negative first axis
+  Burst,   ///< one tight clump of diameter ≤ 2R (adversarial: looks like a
+           ///< (z)-point cluster, but declaring it a cluster strands a real
+           ///< cluster of ≥ z+1 points, so the bracket stays certified)
+};
+
 struct PlantedConfig {
   std::size_t n = 1000;   ///< total points incl. outliers
   int k = 3;
@@ -42,6 +50,17 @@ struct PlantedConfig {
   /// Cluster size skew: 0 = even split, 1 = strongly skewed (first cluster
   /// dominates).  Exercises the adversarial-distribution MPC cases.
   double skew = 0.0;
+  /// Explicit per-cluster sizes (k entries, each ≥ z+1, summing to n − z).
+  /// Empty = derive the split from `skew`.  Lets adversarial workloads
+  /// plant heavy-tailed cluster-mass distributions exactly.
+  std::vector<std::size_t> cluster_sizes;
+  /// Outlier placement; see `OutlierPattern`.
+  OutlierPattern outliers = OutlierPattern::Spread;
+  /// Near-duplicate flood: every sampled cluster point is replicated into
+  /// `duplicates` copies jittered by ≤ 1e-9·R (1 = no duplication).  All
+  /// copies carry unit weight; the bracket is certified over the actual
+  /// points, so it stays valid.
+  std::size_t duplicates = 1;
 };
 
 struct PlantedInstance {

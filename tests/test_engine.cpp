@@ -18,6 +18,7 @@
 #include "core/verify.hpp"
 #include "engine/registry.hpp"
 #include "test_support.hpp"
+#include "workload/adversarial.hpp"
 
 namespace kc::engine {
 namespace {
@@ -123,6 +124,63 @@ INSTANTIATE_TEST_SUITE_P(
       std::replace(name.begin(), name.end(), '-', '_');
       return name;
     });
+
+// Robustness sweep: every registered pipeline must survive every
+// adversarial workload generator (outlier burst, near-duplicate flood,
+// heavy-tailed cluster masses) and stay within its certified quality bound
+// against the scenario's still-certified planted bracket.
+TEST_P(EnginePipelineTest, SurvivesAdversarialWorkloads) {
+  const std::string name = GetParam();
+  const auto pipeline = registry().make(name);
+  const PipelineConfig cfg = small_config();
+  for (const auto& scenario : adversarial_scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    Workload w;
+    w.planted =
+        scenario.make(kSmallN, cfg.k, cfg.z, cfg.dim, cfg.norm, cfg.seed);
+    w.order = shuffled_order(w.n(), cfg.seed + 1);
+    const PipelineResult res = pipeline->execute(w, cfg);
+    const auto& r = res.report;
+
+    ASSERT_FALSE(res.solution.centers.empty());
+    EXPECT_LE(static_cast<int>(res.solution.centers.size()), cfg.k);
+    EXPECT_GT(r.radius, 0.0);
+    EXPECT_LE(r.quality, pipeline->quality_bound());
+    if (name != "dynamic") {
+      EXPECT_LE(r.radius, pipeline->quality_bound() * w.planted.opt_hi + 1e-9);
+    }
+    if (!res.coreset.empty() && pipeline->preserves_weight()) {
+      EXPECT_EQ(total_weight(res.coreset),
+                static_cast<std::int64_t>(kSmallN));
+    }
+  }
+}
+
+TEST(AdversarialGenerators, BracketsStayCertified) {
+  // The scenario families keep the certified optimum bracket structure:
+  // outliers stay declared, opt_lo ≤ opt_hi, and the heavy tail plants its
+  // exact mass split.
+  for (const auto& scenario : adversarial_scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    const PlantedInstance inst =
+        scenario.make(500, 4, 10, 2, Norm::L2, 7);
+    EXPECT_EQ(inst.points.size(), 500u);
+    EXPECT_EQ(inst.outlier_indices.size(), 10u);
+    EXPECT_GT(inst.opt_lo, 0.0);
+    EXPECT_LE(inst.opt_lo, inst.opt_hi * (1.0 + 1e-12));
+  }
+  // Burst: the z outliers form one clump of diameter ≤ 2R.
+  const PlantedInstance burst = make_outlier_burst(500, 4, 10, 2, Norm::L2, 7);
+  const Metric metric{Norm::L2};
+  double diam = 0.0;
+  for (std::size_t a : burst.outlier_indices)
+    for (std::size_t b : burst.outlier_indices)
+      diam = std::max(diam, metric.dist(burst.points[a].p, burst.points[b].p));
+  EXPECT_LE(diam, 2.0 * burst.config.cluster_radius + 1e-12);
+  // Heavy tail: first cluster dominates (more than a third of all mass).
+  const PlantedInstance heavy = make_heavy_tailed(600, 4, 10, 2, Norm::L2, 7);
+  EXPECT_GT(heavy.config.cluster_sizes[0], (600 - 10) / 3u);
+}
 
 TEST(EngineRegistry, CatalogueCoversEveryModel) {
   // The full Table-1 cast must be registered; adding a pipeline to the

@@ -31,8 +31,8 @@ TEST(Simulator, CommunicationAccounting) {
     if (id == 1) {
       Message m;
       m.to = 0;
-      m.scalars = {1.0, 2.0};             // 2 words
-      m.points.push_back({Point{1.0, 2.0, 3.0}, 1});  // 4 words
+      m.scalars = {1.0, 2.0};  // 2 words
+      m.payload = PointPayload(WeightedSet{{Point{1.0, 2.0, 3.0}, 1}});  // 4
       out.push_back(std::move(m));
     }
   });

@@ -12,7 +12,10 @@
 // Unknown flags are an error (usage text + exit 2), so a typo'd flag in a
 // CI smoke step fails the job instead of silently running the defaults.
 
+#include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -36,6 +39,19 @@ constexpr const char kUsage[] =
     "  --window <W>                  sliding-window length (0 = whole stream)\n"
     "  --delta <D>                   dynamic universe side [256]\n"
     "  --det-recovery                dynamic: deterministic power-sum sketch\n"
+    "  --input <csv>                 cluster a CSV instead of a generated\n"
+    "                                workload (one point per line; with\n"
+    "                                --weighted the last column is an\n"
+    "                                integer weight); NaN/Inf rejected\n"
+    "  --weighted                    --input: last CSV column is a weight\n"
+    "  --fault-seed <s>              MPC fault-schedule seed [0]\n"
+    "  --fault-crash/--fault-drop    per-attempt crash / message-drop\n"
+    "                                probabilities [0/0]\n"
+    "  --fault-truncate <p>          point-message truncation probability [0]\n"
+    "  --fault-straggle <p>          per machine-round straggler prob [0]\n"
+    "  --fault-retries <r>           transport retry budget [2]\n"
+    "  --fault-policy retry|reassign|degrade\n"
+    "                                recovery past the retry budget [retry]\n"
     "  --no-direct                   skip the direct solve (radius only)\n"
     "  --json <path> --json-tag <t>  append one JSON record per pipeline run\n"
     "  --help                        print this text and exit\n";
@@ -45,8 +61,81 @@ const std::vector<std::string>& known_flags() {
       "list",   "pipeline", "n",      "k",        "z",           "eps",
       "dim",    "norm",     "seed",   "threads",  "m",           "partition",
       "rounds", "policy",   "window", "delta",    "det-recovery",
-      "no-direct", "json",  "json-tag", "help"};
+      "no-direct", "json",  "json-tag", "input",  "weighted",
+      "fault-seed", "fault-crash", "fault-drop", "fault-truncate",
+      "fault-straggle", "fault-retries", "fault-policy", "help"};
   return flags;
+}
+
+// CSV loader for --input: one point per line, comma-separated coordinates
+// (last column = integer weight with --weighted).  NaN/Inf coordinates and
+// non-finite/non-positive weights are rejected with a clear error — they
+// would otherwise silently poison the distance kernels.
+WeightedSet read_csv_points(const std::string& path, bool weighted) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  WeightedSet pts;
+  std::string line;
+  int dim = -1;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<double> cols;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        cols.push_back(std::stod(cell));
+      } catch (...) {
+        cols.clear();
+        break;  // header or malformed line: skip
+      }
+    }
+    if (cols.empty()) continue;
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      if (!std::isfinite(cols[c])) {
+        std::fprintf(stderr,
+                     "error: %s line %zu column %zu: non-finite value\n",
+                     path.c_str(), lineno, c + 1);
+        std::exit(1);
+      }
+    }
+    std::int64_t w = 1;
+    if (weighted) {
+      if (cols.size() < 2) {
+        std::fprintf(stderr,
+                     "error: %s line %zu: --weighted needs >= 2 columns\n",
+                     path.c_str(), lineno);
+        std::exit(1);
+      }
+      w = static_cast<std::int64_t>(cols.back());
+      if (w <= 0) {
+        std::fprintf(stderr, "error: %s line %zu: non-positive weight\n",
+                     path.c_str(), lineno);
+        std::exit(1);
+      }
+      cols.pop_back();
+    }
+    if (dim < 0) dim = static_cast<int>(cols.size());
+    if (static_cast<int>(cols.size()) != dim ||
+        dim > Point::kMaxDim) {
+      std::fprintf(stderr,
+                   "error: %s line %zu has %zu coordinate columns, "
+                   "expected %d (max %d)\n",
+                   path.c_str(), lineno, cols.size(), dim, Point::kMaxDim);
+      std::exit(1);
+    }
+    pts.push_back({Point(std::span<const double>(cols)), w});
+  }
+  if (pts.empty()) {
+    std::fprintf(stderr, "error: no points parsed from %s\n", path.c_str());
+    std::exit(1);
+  }
+  return pts;
 }
 
 Norm parse_norm(const std::string& name) {
@@ -120,6 +209,21 @@ int main(int argc, char** argv) {
   cfg.delta = flags.get_int("delta", 256);
   cfg.deterministic_recovery = flags.has("det-recovery");
   cfg.num_threads = static_cast<int>(flags.get_int("threads", 1));
+  cfg.fault_seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 0));
+  cfg.fault_crash = flags.get_double("fault-crash", 0.0);
+  cfg.fault_drop = flags.get_double("fault-drop", 0.0);
+  cfg.fault_truncate = flags.get_double("fault-truncate", 0.0);
+  cfg.fault_straggle = flags.get_double("fault-straggle", 0.0);
+  cfg.fault_retries = static_cast<int>(flags.get_int("fault-retries", 2));
+  if (!mpc::parse_recovery_policy(flags.get_string("fault-policy", "retry"),
+                                  &cfg.fault_policy)) {
+    std::fprintf(stderr,
+                 "error: unknown --fault-policy '%s' (retry|reassign|"
+                 "degrade)\n",
+                 flags.get_string("fault-policy", "retry").c_str());
+    return 2;
+  }
+  const bool faults_active = cfg.fault_config().active();
 
   const auto n = static_cast<std::size_t>(flags.get_int("n", 4000));
   const std::string which = flags.get_string("pipeline", "all");
@@ -135,31 +239,65 @@ int main(int argc, char** argv) {
   }
 
   const bench::JsonLog json = bench::JsonLog::from_flags(flags);
-  const engine::Workload workload = engine::make_workload(n, cfg);
+  engine::Workload workload;
+  if (flags.has("input")) {
+    // External instance: no certified optimum bracket, so quality-bound
+    // enforcement below is skipped (quality vs the direct solve remains).
+    WeightedSet pts =
+        read_csv_points(flags.get_string("input", ""), flags.has("weighted"));
+    cfg.dim = pts.front().p.dim();
+    workload.planted.buffer = kernels::PointBuffer(pts);
+    workload.planted.points = std::move(pts);
+    workload.planted.config.n = workload.planted.points.size();
+    workload.order = shuffled_order(workload.n(), cfg.seed + 1);
+  } else {
+    workload = engine::make_workload(n, cfg);
+  }
 
   std::printf("kcenter_cli: n=%zu k=%d z=%lld eps=%g dim=%d norm=%s seed=%llu "
               "(planted opt in [%.4f, %.4f])\n\n",
-              n, cfg.k, static_cast<long long>(cfg.z), cfg.eps, cfg.dim,
-              cfg.metric().name(),
+              workload.n(), cfg.k, static_cast<long long>(cfg.z), cfg.eps,
+              cfg.dim, cfg.metric().name(),
               static_cast<unsigned long long>(cfg.seed),
               workload.planted.opt_lo, workload.planted.opt_hi);
 
-  Table table({"pipeline", "model", "coreset", "words", "rounds", "comm",
-               "radius", "quality", "build ms", "solve ms"});
+  std::vector<std::string> header{"pipeline", "model", "coreset", "words",
+                                  "rounds", "comm", "radius", "quality",
+                                  "build ms", "solve ms"};
+  if (faults_active) header.push_back("status");
+  Table table(header);
   bool any_grid_space = false;
+  bool silent_violation = false;
   for (const auto& name : names) {
-    const auto res = engine::run(name, workload, cfg);
+    const auto pipeline = engine::registry().make(name);
+    const auto res = pipeline->execute(workload, cfg);
     const auto& r = res.report;
     const bool grid_space = r.get("grid_space") > 0;
     any_grid_space = any_grid_space || grid_space;
-    table.add_row({r.pipeline, r.model,
-                   fmt_count(static_cast<long long>(r.coreset_size)),
-                   fmt_count(static_cast<long long>(r.words)),
-                   std::to_string(r.rounds),
-                   fmt_count(static_cast<long long>(r.comm_words)),
-                   fmt(r.radius, 4) + (grid_space ? "*" : ""),
-                   cfg.with_direct_solve ? fmt(r.quality, 3) : "-",
-                   fmt(r.build_ms, 1), fmt(r.solve_ms, 1)});
+    std::vector<std::string> row{
+        r.pipeline, r.model, fmt_count(static_cast<long long>(r.coreset_size)),
+        fmt_count(static_cast<long long>(r.words)), std::to_string(r.rounds),
+        fmt_count(static_cast<long long>(r.comm_words)),
+        fmt(r.radius, 4) + (grid_space ? "*" : ""),
+        cfg.with_direct_solve ? fmt(r.quality, 3) : "-", fmt(r.build_ms, 1),
+        fmt(r.solve_ms, 1)};
+    if (faults_active) {
+      // Fault-injected MPC runs must either meet the registered quality
+      // bound or carry the explicit degraded flag; a silent violation is a
+      // bug and fails the invocation (the CI chaos leg relies on this).
+      std::string status = "-";
+      if (r.model == "mpc") {
+        const bool degraded = r.get("degraded") > 0;
+        const double opt_hi = workload.planted.opt_hi;
+        const bool meets = opt_hi <= 0.0 ||
+                           r.radius <= pipeline->quality_bound() * opt_hi +
+                                           1e-9;
+        status = degraded ? "DEGRADED" : (meets ? "VALID" : "BOUND-VIOLATED");
+        if (!degraded && !meets) silent_violation = true;
+      }
+      row.push_back(status);
+    }
+    table.add_row(row);
     json.record("engine_pipeline", r.json_fields());
   }
   table.print();
@@ -167,5 +305,11 @@ int main(int argc, char** argv) {
     std::printf("\n  * radius in discretized [Delta]^d coordinates (scale "
                 "set by --delta); compare via the scale-free quality "
                 "column, not across rows.\n");
+  if (silent_violation) {
+    std::fprintf(stderr,
+                 "error: a fault-injected MPC run exceeded its quality bound "
+                 "without reporting degradation\n");
+    return 1;
+  }
   return 0;
 }
