@@ -7,11 +7,14 @@
 // insertions.  Ground truth for quality is the live set *in grid
 // coordinates* — the space the relaxed coreset lives in.
 
+#include <algorithm>
 #include <memory>
 
+#include "dataset/source.hpp"
 #include "dynamic/dynamic_coreset.hpp"
 #include "engine/builtin.hpp"
 #include "engine/registry.hpp"
+#include "geometry/box.hpp"
 #include "util/timer.hpp"
 
 namespace kc::engine {
@@ -29,6 +32,7 @@ class DynamicPipeline final : public Pipeline {
   [[nodiscard]] double quality_bound() const override {
     return 8.0;  // relaxed coreset: cell-center displacement adds slack
   }
+  [[nodiscard]] bool supports_dataset() const override { return true; }
 
   [[nodiscard]] PipelineResult run(const Workload& w,
                                    const PipelineConfig& cfg) const override {
@@ -40,6 +44,8 @@ class DynamicPipeline final : public Pipeline {
     opt.dim = cfg.dim;
     opt.seed = cfg.seed;
     opt.deterministic_recovery = cfg.deterministic_recovery;
+
+    if (w.from_dataset()) return run_from_source(*w.source, cfg, opt);
 
     const std::vector<GridPoint> grid =
         w.grid.empty() ? discretize(w.planted.points, cfg.delta) : w.grid;
@@ -86,6 +92,76 @@ class DynamicPipeline final : public Pipeline {
       live_buf.append(live.back().p);
     }
     extract_and_evaluate(res, live, cfg, w, /*pool=*/nullptr, &live_buf);
+    return res;
+  }
+
+ private:
+  /// Out-of-core run: one discretizing pass feeds the sketch, a second
+  /// (chunk-transformed) pass evaluates.  The scaling constants come from
+  /// the source's exact bbox — min/max commute, so they equal the ones
+  /// `discretize` derives from the materialized set, making every snapped
+  /// coordinate (and hence sketch, coreset, and radius) bit-identical to
+  /// the in-memory run.  Memory stays O(chunk + sketch) at any n.
+  [[nodiscard]] static PipelineResult run_from_source(
+      dataset::DataSource& src, const PipelineConfig& cfg,
+      const dynamic::DynamicCoresetOptions& opt) {
+    KC_EXPECTS(src.dim() == cfg.dim && cfg.dim <= Point::kMaxDim);
+    Point lo(cfg.dim), hi(cfg.dim);
+    for (int j = 0; j < cfg.dim; ++j) {
+      lo[j] = src.box_lo()[static_cast<std::size_t>(j)];
+      hi[j] = src.box_hi()[static_cast<std::size_t>(j)];
+    }
+    const Box box(lo, hi);
+    const double span = std::max(box.max_side(), 1e-12);
+    const double scale = static_cast<double>(cfg.delta - 1) / span;
+    const auto snap_row = [&box, scale, &cfg](
+                              const kernels::BufferView<double>& v,
+                              std::size_t i) {
+      Point scaled(cfg.dim);
+      for (int j = 0; j < cfg.dim; ++j)
+        scaled[j] = (v.col(j)[i] - box.lo()[j]) * scale;
+      return snap_to_grid(scaled, cfg.delta);
+    };
+
+    PipelineResult res;
+    dynamic::DynamicCoreset dc(opt);
+    Timer timer;
+    {
+      dataset::ChunkedReader reader(src);
+      dataset::ChunkedReader::Chunk ch;
+      while (reader.next(ch))
+        for (std::size_t i = 0; i < ch.view.size(); ++i)
+          dc.update(snap_row(ch.view, i), +1);
+    }
+    res.report.build_ms = timer.millis();
+
+    const auto q = dc.query();
+    res.report.words = dc.words();
+    res.report.set("grid_space", 1.0);
+    res.report.set("ok", q.ok ? 1.0 : 0.0);
+    res.report.set("level", static_cast<double>(q.level));
+    res.report.set("nonempty_cells", static_cast<double>(q.nonempty_cells));
+    res.report.set("cell_side", q.cell_side);
+    res.report.set("levels", static_cast<double>(dc.grids().levels()));
+    res.report.set("sample_budget", static_cast<double>(dc.sample_budget()));
+    res.report.set("live", static_cast<double>(dc.live_points()));
+    res.report.set("update_us",
+                   src.size() == 0
+                       ? 0.0
+                       : res.report.build_ms * 1e3 /
+                             static_cast<double>(src.size()));
+    if (!q.ok) return res;
+
+    res.coreset = q.coreset;
+    // Ground truth in grid coordinates, produced chunk-by-chunk by the
+    // same snapping the sketch consumed.
+    extract_and_evaluate_source(
+        res, src, cfg,
+        [&snap_row](const kernels::BufferView<double>& in,
+                    kernels::PointBuffer& scratch) {
+          for (std::size_t i = 0; i < in.size(); ++i)
+            scratch.append(snap_row(in, i).to_point());
+        });
     return res;
   }
 };

@@ -1,11 +1,21 @@
 #include "engine/pipeline.hpp"
 
+#include <sstream>
+#include <stdexcept>
+
 #include "core/cost.hpp"
 #include "core/solver.hpp"
+#include "dataset/source.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace kc::engine {
+
+std::size_t Workload::n() const noexcept {
+  if (!planted.points.empty() || source == nullptr)
+    return planted.points.size();
+  return static_cast<std::size_t>(source->size());
+}
 
 Workload make_workload(std::size_t n, const PipelineConfig& cfg) {
   PlantedConfig pc;
@@ -18,6 +28,51 @@ Workload make_workload(std::size_t n, const PipelineConfig& cfg) {
   Workload w;
   w.planted = make_planted(pc);
   w.order = shuffled_order(n, cfg.seed + 1);
+  return w;
+}
+
+Workload make_dataset_workload(std::shared_ptr<dataset::DataSource> src) {
+  KC_EXPECTS(src != nullptr);
+  Workload w;
+  w.planted.config.n = static_cast<std::size_t>(src->size());
+  w.planted.config.dim = src->dim();
+  w.source = std::move(src);
+  return w;
+}
+
+Workload materialize_workload(dataset::DataSource& src,
+                              std::size_t max_points) {
+  if (src.size() > max_points) {
+    std::ostringstream os;
+    os << "dataset " << src.describe() << " has " << src.size()
+       << " points; materializing more than " << max_points
+       << " defeats out-of-core operation — use a dataset-capable pipeline "
+          "(stream-insertion, dynamic) instead";
+    throw std::runtime_error(os.str());
+  }
+  if (src.dim() > Point::kMaxDim) {
+    std::ostringstream os;
+    os << "dataset " << src.describe() << " has dim " << src.dim()
+       << ", above the Point limit of " << Point::kMaxDim;
+    throw std::runtime_error(os.str());
+  }
+  Workload w;
+  const auto n = static_cast<std::size_t>(src.size());
+  w.planted.points.reserve(n);
+  w.planted.buffer = kernels::PointBuffer(src.dim());
+  w.planted.buffer.reserve(n);
+  dataset::ChunkedReader reader(src);
+  dataset::ChunkedReader::Chunk ch;
+  Point p(src.dim());
+  while (reader.next(ch)) {
+    for (std::size_t i = 0; i < ch.view.size(); ++i) {
+      for (int j = 0; j < ch.view.dim(); ++j) p[j] = ch.view.col(j)[i];
+      w.planted.points.push_back({p, 1});
+      w.planted.buffer.append(p);
+    }
+  }
+  w.planted.config.n = n;
+  w.planted.config.dim = src.dim();
   return w;
 }
 
@@ -61,6 +116,13 @@ std::vector<bench::JsonField> PipelineReport::json_fields() const {
 
 PipelineResult Pipeline::execute(const Workload& w,
                                  const PipelineConfig& cfg) const {
+  if (w.from_dataset() && !supports_dataset()) {
+    std::ostringstream os;
+    os << "pipeline '" << name()
+       << "' cannot stream a dataset-backed workload; materialize_workload "
+          "it first or pick a dataset-capable pipeline";
+    throw std::runtime_error(os.str());
+  }
   PipelineResult res = run(w, cfg);
   res.report.pipeline = name();
   res.report.model = model();
@@ -154,6 +216,27 @@ void evaluate_centers(PipelineResult& res, PointSet centers,
   } else {
     res.report.quality = 1.0;
   }
+}
+
+void extract_and_evaluate_source(
+    PipelineResult& res, dataset::DataSource& src, const PipelineConfig& cfg,
+    const std::function<void(const kernels::BufferView<double>&,
+                             kernels::PointBuffer&)>& transform) {
+  if (!cfg.with_extraction || res.coreset.empty()) return;
+  const Metric metric = cfg.metric();
+  Timer timer;
+  const Solution via =
+      solve_kcenter_outliers(res.coreset, cfg.k, cfg.z, metric);
+  res.report.solve_ms += timer.millis();
+  timer.reset();
+  const double on_full = dataset::chunked_radius_with_outliers(
+      src, via.centers, cfg.z, metric, {}, transform);
+  res.report.set("eval_ms", timer.millis());
+  res.solution = Solution{via.centers, on_full};
+  res.report.radius = on_full;
+  // The direct solve needs the whole set in memory; on the out-of-core path
+  // quality is reported as 1.0, matching `with_direct_solve = false`.
+  res.report.quality = 1.0;
 }
 
 }  // namespace kc::engine

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -39,6 +40,10 @@
 
 namespace kc {
 class ThreadPool;  // util/parallel.hpp
+}
+
+namespace kc::dataset {
+class DataSource;  // dataset/source.hpp
 }
 
 namespace kc::engine {
@@ -155,7 +160,25 @@ struct Workload {
   std::shared_ptr<DirectSolveCache> direct_cache =
       std::make_shared<DirectSolveCache>();
 
-  [[nodiscard]] std::size_t n() const noexcept { return planted.points.size(); }
+  /// Out-of-core dataset behind this workload (null = fully in-memory).
+  /// When set and `planted.points` is empty, dataset-capable pipelines
+  /// (`Pipeline::supports_dataset`) stream chunks from it instead of
+  /// touching the planted fields; peak memory then stays O(chunk),
+  /// independent of the source size.  Build with `make_dataset_workload`,
+  /// or copy the source into memory with `materialize_workload` for the
+  /// remaining pipelines.
+  std::shared_ptr<dataset::DataSource> source;
+
+  /// True when pipelines must stream from `source` (set, and no
+  /// materialized points shadow it).
+  [[nodiscard]] bool from_dataset() const noexcept {
+    return source != nullptr && planted.points.empty();
+  }
+
+  /// Instance size: the materialized point count, or the dataset size for
+  /// a dataset-backed workload (out of line — `DataSource` is incomplete
+  /// here).
+  [[nodiscard]] std::size_t n() const noexcept;
 
   /// The planted instance's canonical SoA buffer, or null when a harness
   /// filled the fields by hand and left it empty/stale.  Pipelines hand
@@ -171,6 +194,22 @@ struct Workload {
 /// Standard workload: a planted instance with cfg's (k, z, dim, norm, seed)
 /// and a shuffled arrival order derived from cfg.seed.
 [[nodiscard]] Workload make_workload(std::size_t n, const PipelineConfig& cfg);
+
+/// Dataset-backed workload: no planted points, no certified bracket; the
+/// arrival order is the source's sequential order.  Dataset-capable
+/// pipelines stream from it within fixed memory.
+[[nodiscard]] Workload make_dataset_workload(
+    std::shared_ptr<dataset::DataSource> src);
+
+/// Copies a dataset into an ordinary in-memory workload (unit weights,
+/// sequential order, SoA buffer built alongside) for pipelines without a
+/// streaming path.  Throws std::runtime_error when the source exceeds
+/// `max_points` (materializing it would defeat out-of-core operation —
+/// use a dataset-capable pipeline instead) or its dim exceeds the `Point`
+/// boundary limit.
+[[nodiscard]] Workload materialize_workload(dataset::DataSource& src,
+                                            std::size_t max_points =
+                                                8'000'000);
 
 /// What a pipeline run measured.  `words` is the model's headline storage
 /// metric (MPC: peak worker words; streaming: peak stored words; dynamic:
@@ -241,6 +280,12 @@ class Pipeline {
   /// bracket); tests assert `report.radius ≤ quality_bound() · opt_hi`.
   [[nodiscard]] virtual double quality_bound() const { return 5.0; }
 
+  /// Whether `run` can stream a dataset-backed workload
+  /// (`Workload::from_dataset`) chunk-by-chunk within fixed memory.  The
+  /// sequential one-pass models (insertion-only streaming, dynamic)
+  /// support it; the others require `materialize_workload` first.
+  [[nodiscard]] virtual bool supports_dataset() const { return false; }
+
   /// Runs the model end to end and fills coreset/solution/report.  The
   /// common report fields (pipeline/model/n/k/z/eps) are stamped by
   /// `execute`; implementations fill the measured ones.
@@ -278,5 +323,17 @@ void evaluate_centers(PipelineResult& res, PointSet centers,
                       const PipelineConfig& cfg, const Workload& w,
                       ThreadPool* pool = nullptr,
                       const kernels::PointBuffer* gt_buffer = nullptr);
+
+/// Out-of-core variant of `extract_and_evaluate`: solve on the summary,
+/// then evaluate the centers against the *source* one chunk at a time
+/// (dataset/source.hpp `chunked_radius_with_outliers` — bit-identical to
+/// the in-memory evaluation).  `transform` optionally rewrites each chunk
+/// before evaluation (the dynamic pipeline's grid-space ground truth).
+/// The direct solve is never run (it needs the full set in memory);
+/// `quality` is reported as 1.0, mirroring `with_direct_solve = false`.
+void extract_and_evaluate_source(
+    PipelineResult& res, dataset::DataSource& src, const PipelineConfig& cfg,
+    const std::function<void(const kernels::BufferView<double>&,
+                             kernels::PointBuffer&)>& transform = nullptr);
 
 }  // namespace kc::engine

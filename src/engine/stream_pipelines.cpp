@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "dataset/source.hpp"
 #include "engine/builtin.hpp"
 #include "engine/registry.hpp"
 #include "geometry/box.hpp"
@@ -35,6 +36,8 @@ class InsertionPipeline final : public Pipeline {
            "the threshold policy knob selects ours vs the Ceccarello shape";
   }
 
+  [[nodiscard]] bool supports_dataset() const override { return true; }
+
   [[nodiscard]] PipelineResult run(const Workload& w,
                                    const PipelineConfig& cfg) const override {
     const Metric metric = cfg.metric();
@@ -42,9 +45,27 @@ class InsertionPipeline final : public Pipeline {
     stream::InsertionOnlyStream s(cfg.k, cfg.z, cfg.eps, cfg.dim, metric,
                                   cfg.policy);
     Timer timer;
-    for (std::size_t i = 0; i < w.n(); ++i)
-      s.insert_weighted(w.planted.points[arrival(w, i)].p,
-                        w.planted.points[arrival(w, i)].w);
+    if (w.from_dataset()) {
+      // Out-of-core: feed the stream chunk-by-chunk in the source's
+      // sequential order.  The per-point insertions are identical to the
+      // in-memory loop below under an empty arrival order, so summary and
+      // report are bit-identical to a materialized run; only this path's
+      // memory stays O(chunk + coreset) regardless of n.
+      dataset::DataSource& src = *w.source;
+      KC_EXPECTS(src.dim() == cfg.dim && cfg.dim <= Point::kMaxDim);
+      dataset::ChunkedReader reader(src);
+      dataset::ChunkedReader::Chunk ch;
+      Point p(cfg.dim);
+      while (reader.next(ch))
+        for (std::size_t i = 0; i < ch.view.size(); ++i) {
+          for (int j = 0; j < cfg.dim; ++j) p[j] = ch.view.col(j)[i];
+          s.insert_weighted(p, 1);
+        }
+    } else {
+      for (std::size_t i = 0; i < w.n(); ++i)
+        s.insert_weighted(w.planted.points[arrival(w, i)].p,
+                          w.planted.points[arrival(w, i)].w);
+    }
     res.report.build_ms = timer.millis();
     res.coreset = s.coreset();
     res.report.words = s.peak_words();
@@ -52,7 +73,11 @@ class InsertionPipeline final : public Pipeline {
     res.report.set("threshold", static_cast<double>(s.threshold()));
     res.report.set("doublings", static_cast<double>(s.doublings()));
     res.report.set("r", s.r());
-    extract_and_evaluate(res, w.planted.points, cfg, w);
+    if (w.from_dataset()) {
+      extract_and_evaluate_source(res, *w.source, cfg);
+    } else {
+      extract_and_evaluate(res, w.planted.points, cfg, w);
+    }
     return res;
   }
 };

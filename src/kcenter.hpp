@@ -12,6 +12,8 @@
 //
 //   core        (ε,k,z)-coreset machinery, mini-ball covers, offline
 //               solvers (Gonzalez, Charikar, brute force), cost/verify
+//   dataset     .kcb on-disk container, mmap zero-copy sources, chunked
+//               out-of-core readers, CSV / Matrix-Market importers
 //   geometry    points, metric spaces, bounding boxes, grids
 //   dynamic     fully dynamic coreset + k-center maintenance
 //   lowerbound  insertion-only / sliding-window / dynamic lower bounds
@@ -32,6 +34,7 @@
 #include "util/parallel.hpp"
 #include "util/retry.hpp"
 #include "util/rng.hpp"
+#include "util/rss.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -45,6 +48,12 @@
 #include "geometry/metric.hpp"
 #include "geometry/point.hpp"
 #include "geometry/point_buffer.hpp"
+
+// dataset — out-of-core ingest: the .kcb binary container, mmap-backed
+// zero-copy sources, chunked readers, and text importers.
+#include "dataset/kcb.hpp"
+#include "dataset/source.hpp"
+#include "dataset/text_import.hpp"
 
 // core — problem types, coresets, and offline solvers.
 #include "core/brute_force.hpp"

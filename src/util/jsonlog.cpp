@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "util/rss.hpp"
+
 namespace kc::bench {
 
 namespace {
@@ -70,6 +72,12 @@ void record_impl(const std::string& path, const std::string& tag,
   }
   out << "{" << JsonField("experiment", experiment).to_json();
   for (const auto& f : fields) out << ", " << f.to_json();
+  // Every record carries the process high-water RSS at record time, so any
+  // trajectory doubles as a memory-footprint trajectory (0 = no probe).
+  out << ", "
+      << JsonField("peak_rss_mb",
+                   static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0))
+             .to_json();
   if (!tag.empty()) out << ", " << JsonField("tag", tag).to_json();
   out << "}\n";
 }

@@ -1,0 +1,26 @@
+// Portable process-memory probes for the bench harnesses.
+//
+// The out-of-core dataset layer's contract is "peak RSS independent of n";
+// the scale harness (bench/bench_scale.cpp) records the high-water mark to
+// prove it, and util/jsonlog.cpp stamps it into *every* bench JSON record
+// so any trajectory (BENCH_engine.json, BENCH_hotpaths.json,
+// BENCH_scale.json) carries the memory footprint of the run that produced
+// it.  Backed by getrusage(RUSAGE_SELF) on POSIX; returns 0 where the
+// platform offers no probe (records then carry an honest 0, never a guess).
+
+#pragma once
+
+#include <cstddef>
+
+namespace kc {
+
+/// High-water resident set size of this process, in bytes (monotone over
+/// the process lifetime — record *before* allocating comparison baselines).
+/// 0 when the platform provides no probe.
+[[nodiscard]] std::size_t peak_rss_bytes();
+
+/// Current resident set size in bytes (Linux: /proc/self/statm), 0 when
+/// unavailable.  Spot probe only — prefer `peak_rss_bytes` for budgets.
+[[nodiscard]] std::size_t current_rss_bytes();
+
+}  // namespace kc

@@ -66,11 +66,17 @@ PlantedInstance make_heavy_tailed(std::size_t n, int k, std::int64_t z,
   return make_planted(cfg);
 }
 
+PlantedInstance make_drifting_centers(std::size_t n, int k, std::int64_t z,
+                                      int dim, Norm norm, std::uint64_t seed) {
+  return make_drifting(base_config(n, k, z, dim, norm, seed));
+}
+
 const std::vector<AdversarialScenario>& adversarial_scenarios() {
   static const std::vector<AdversarialScenario> scenarios = {
       {"outlier-burst", &make_outlier_burst},
       {"duplicate-flood", &make_duplicate_flood},
       {"heavy-tailed", &make_heavy_tailed},
+      {"drifting-centers", &make_drifting_centers},
   };
   return scenarios;
 }

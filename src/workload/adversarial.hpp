@@ -47,6 +47,13 @@ namespace kc {
                                                 std::int64_t z, int dim,
                                                 Norm norm, std::uint64_t seed);
 
+/// Drifting emission centers in time order (generators.hpp make_drifting):
+/// the anti-prefix-calibration stream for one-pass summaries.
+[[nodiscard]] PlantedInstance make_drifting_centers(std::size_t n, int k,
+                                                    std::int64_t z, int dim,
+                                                    Norm norm,
+                                                    std::uint64_t seed);
+
 /// A named adversarial instance family.
 struct AdversarialScenario {
   const char* name;

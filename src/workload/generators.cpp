@@ -216,6 +216,114 @@ PlantedInstance make_planted(const PlantedConfig& cfg) {
   return inst;
 }
 
+PlantedInstance make_drifting(const PlantedConfig& cfg) {
+  KC_EXPECTS(cfg.k >= 1);
+  KC_EXPECTS(cfg.z >= 0);
+  KC_EXPECTS(cfg.dim >= 1 && cfg.dim <= Point::kMaxDim);
+  KC_EXPECTS(std::isfinite(cfg.cluster_radius) && cfg.cluster_radius > 0.0);
+  KC_EXPECTS(cfg.separation >= 20.0);
+  const auto z = static_cast<std::size_t>(cfg.z);
+  KC_EXPECTS(cfg.n >= static_cast<std::size_t>(cfg.k) * (z + 1) + z);
+
+  PlantedInstance inst;
+  inst.config = cfg;
+  Rng rng(cfg.seed);
+  const Metric metric{cfg.norm};
+  const double R = cfg.cluster_radius;
+  const double spacing = cfg.separation * R;
+
+  // Planted centers = drift midpoints on the usual lattice.
+  inst.planted_centers = lattice_centers(cfg.k, cfg.dim, spacing);
+
+  // Even split of the n − z cluster points; round-robin emission keeps the
+  // per-cluster drift progress aligned with stream time.
+  const std::size_t cluster_total = cfg.n - z;
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(cfg.k),
+                                 cluster_total / static_cast<std::size_t>(cfg.k));
+  for (std::size_t c = 0; c < cluster_total % static_cast<std::size_t>(cfg.k);
+       ++c)
+    ++sizes[c];
+
+  // Cluster emissions in time order.  At stream progress λ ∈ [0, 1] cluster
+  // c emits around anchor + (2λ − 1)·2R along its drift axis: the emission
+  // center sweeps 4R end to end, so every member is within 2R + R = 3R of
+  // the anchor and the standard certificate (separation 40R ≫ 4·3R) holds.
+  std::vector<std::vector<Point>> clusters(static_cast<std::size_t>(cfg.k));
+  std::vector<Point> emissions;
+  emissions.reserve(cluster_total);
+  {
+    std::vector<std::size_t> emitted(static_cast<std::size_t>(cfg.k), 0);
+    std::size_t c = 0;
+    for (std::size_t u = 0; u < cluster_total; ++u) {
+      while (emitted[c] >= sizes[c]) c = (c + 1) % sizes.size();
+      const double lambda =
+          cluster_total > 1
+              ? static_cast<double>(u) / static_cast<double>(cluster_total - 1)
+              : 0.5;
+      Point p = sample_unit_ball(rng, cfg.dim, cfg.norm) * R +
+                inst.planted_centers[c];
+      p[static_cast<int>(c) % cfg.dim] += (2.0 * lambda - 1.0) * 2.0 * R;
+      clusters[c].push_back(p);
+      emissions.push_back(p);
+      ++emitted[c];
+      c = (c + 1) % sizes.size();
+    }
+  }
+
+  // Spread outliers (same shape as make_planted's).
+  PointSet outliers;
+  outliers.reserve(z);
+  for (std::size_t i = 0; i < z; ++i) {
+    Point o(cfg.dim, 0.0);
+    o[0] = -spacing * (2.0 + static_cast<double>(i));
+    for (int dcoord = 1; dcoord < cfg.dim; ++dcoord)
+      o[dcoord] = rng.uniform_real(0.0, R);
+    outliers.push_back(o);
+  }
+
+  // Assemble in time order — no shuffle; outlier i surfaces at stream
+  // position (i+1)·n/(z+1) (evenly interspersed, deterministic).
+  inst.points.reserve(cfg.n);
+  inst.buffer = kernels::PointBuffer(cfg.dim);
+  inst.buffer.reserve(cfg.n);
+  std::size_t next_outlier = 0;
+  std::size_t next_cluster = 0;
+  for (std::size_t t = 0; t < cfg.n; ++t) {
+    const bool emit_outlier =
+        next_outlier < z &&
+        t + 1 == ((next_outlier + 1) * cfg.n) / (z + 1);
+    const Point& p =
+        emit_outlier ? outliers[next_outlier] : emissions[next_cluster];
+    if (emit_outlier) {
+      inst.outlier_indices.push_back(t);
+      ++next_outlier;
+    } else {
+      ++next_cluster;
+    }
+    inst.points.push_back({p, 1});
+    inst.buffer.append(p);
+  }
+  KC_ENSURES(next_outlier == z && next_cluster == cluster_total);
+
+  // Certify the bracket exactly as make_planted does.
+  double hi = 0.0, lo = 0.0;
+  for (int c = 0; c < cfg.k; ++c) {
+    const auto& cl = clusters[static_cast<std::size_t>(c)];
+    double far = 0.0;
+    for (const auto& p : cl)
+      far = std::max(
+          far,
+          metric.dist(p, inst.planted_centers[static_cast<std::size_t>(c)]));
+    hi = std::max(hi, far);
+    lo = std::max(lo, diameter_lb(cl, metric) / 2.0);
+  }
+  inst.opt_hi = hi;
+  inst.opt_lo = lo;
+  KC_ENSURES(inst.opt_lo <= inst.opt_hi * (1.0 + 1e-12));
+  KC_ENSURES(inst.opt_hi < spacing / 4.0);
+  return inst;
+}
+
 WeightedSet make_uniform(std::size_t n, int dim, double side,
                          std::uint64_t seed) {
   KC_EXPECTS(std::isfinite(side) && "non-finite extent");

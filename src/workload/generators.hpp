@@ -79,6 +79,19 @@ struct PlantedInstance {
 /// cluster can hold ≥ z+1 points.
 [[nodiscard]] PlantedInstance make_planted(const PlantedConfig& cfg);
 
+/// Time-ordered drifting-centers instance: cluster c's *emission* center
+/// moves along a per-cluster axis by 4·R over the course of the stream, and
+/// points are emitted in time order (clusters round-robin, outliers
+/// interspersed evenly) with NO shuffle — early prefixes see a different
+/// distribution than late ones, the adversarial regime for one-pass
+/// summaries whose thresholds are calibrated on a prefix.  The planted
+/// center of each cluster is its drift midpoint; every member stays within
+/// 3·R of it (2·R drift half-length + R sample radius), so with the default
+/// separation of 40·R the usual bracket certificate applies unchanged.
+/// `cfg.order`-style shuffling must NOT be layered on top (the drift is the
+/// point); consume it with an empty arrival order.
+[[nodiscard]] PlantedInstance make_drifting(const PlantedConfig& cfg);
+
 /// Uniform noise in [0, side]^dim — used where no optimum certificate is
 /// needed (sketch stress tests, spread sweeps).
 [[nodiscard]] WeightedSet make_uniform(std::size_t n, int dim, double side,

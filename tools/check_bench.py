@@ -33,6 +33,27 @@ group.  The ratio is machine-independent (both variants run in the same
 process seconds apart), so a modest floor is a stable CI gate:
     tools/check_bench.py --kernel bench.json --min-speedup 1.2
 
+A third mode gates the out-of-core dataset layer (``--scale``) over the
+``scale_ingest`` records bench_scale emits, keyed by (n, pipeline,
+source):
+* every candidate key present in the baseline must match it in the
+  result columns (coreset/words exact, radius within the relative
+  epsilon) — the CI smoke runs ``bench_scale --quick`` and the committed
+  BENCH_scale.json carries both the quick and the full (1M/10M) rows, so
+  the smoke keys always overlap;
+* disk-vs-memory identity: where the candidate holds both a ``kcb`` and
+  a ``memory`` row for the same (n, pipeline), their result columns must
+  agree — streaming from disk is bit-identical to the in-memory path by
+  contract;
+* ingest throughput: the ``kcb`` row must sustain at least
+  ``--min-ingest-ratio`` (default 0.5) of the ``memory`` row's
+  points/sec (same process, minutes apart — a stable ratio);
+* fixed memory: per pipeline, peak_rss_mb of the largest-n ``kcb`` row
+  may exceed the smallest-n one by at most ``--rss-slack-mb`` (default
+  160 — the chunk budget plus scratch; an O(n) materialization
+  regression at 10M points overshoots this by an order of magnitude).
+    tools/check_bench.py --scale scale_smoke.json BENCH_scale.json
+
 Refreshing the committed baseline (BENCH_engine.json) after an intended
 behavioral or performance change:
     ./build/tools/kcenter_cli --pipeline all --n 2000 --k 3 --z 16 --eps 0.5 \
@@ -136,6 +157,132 @@ def check_kernel(path, min_speedup):
     return 0
 
 
+SCALE_EXACT_COLUMNS = ("coreset", "words")
+SCALE_FLOAT_COLUMNS = ("radius",)
+
+
+def load_scale_records(path):
+    """scale_ingest records keyed by (n, pipeline, source); the last record
+    per key wins (appended logs gate the freshest run)."""
+    records = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"{path}:{line_no}: not JSON: {exc}")
+            if rec.get("experiment") != "scale_ingest":
+                continue
+            key = (rec.get("n"), rec.get("pipeline"), rec.get("source"))
+            if None in key:
+                raise SystemExit(
+                    f"{path}:{line_no}: scale_ingest record without "
+                    f"n/pipeline/source")
+            records[key] = rec
+    if not records:
+        raise SystemExit(f"{path}: no scale_ingest records found")
+    return records
+
+
+def check_scale(candidate_path, baseline_path, min_ingest_ratio,
+                rss_slack_mb):
+    candidate = load_scale_records(candidate_path)
+    baseline = load_scale_records(baseline_path)
+    failures = []
+
+    # 1. Baseline determinism: candidate keys that the baseline covers must
+    # reproduce its result columns.
+    overlap = sorted(set(candidate) & set(baseline))
+    if not overlap:
+        failures.append(
+            "no (n, pipeline, source) keys shared with the baseline — "
+            "wrong sizes or a renamed pipeline?")
+    for key in overlap:
+        cand, base = candidate[key], baseline[key]
+        for col in SCALE_EXACT_COLUMNS:
+            if cand.get(col) != base.get(col):
+                failures.append(
+                    f"{key}: {col} = {cand.get(col)!r}, "
+                    f"baseline {base.get(col)!r} (exact column)")
+        for col in SCALE_FLOAT_COLUMNS:
+            if not float_close(float(cand.get(col, 0.0)),
+                               float(base.get(col, 0.0))):
+                failures.append(
+                    f"{key}: {col} = {cand.get(col)!r}, "
+                    f"baseline {base.get(col)!r} (beyond {FLOAT_REL_EPS:g} "
+                    f"relative)")
+
+    # 2. Disk-vs-memory identity + ingest-throughput floor, inside the
+    # candidate run.
+    pairs = sorted({(n, p) for (n, p, s) in candidate if s == "memory"})
+    for n, pipeline in pairs:
+        disk = candidate.get((n, pipeline, "kcb"))
+        mem = candidate[(n, pipeline, "memory")]
+        if disk is None:
+            failures.append(f"n={n} {pipeline}: memory row without a kcb row")
+            continue
+        for col in SCALE_EXACT_COLUMNS:
+            if disk.get(col) != mem.get(col):
+                failures.append(
+                    f"n={n} {pipeline}: kcb {col} = {disk.get(col)!r} != "
+                    f"memory {mem.get(col)!r} (disk runs must reproduce the "
+                    f"in-memory result exactly)")
+        for col in SCALE_FLOAT_COLUMNS:
+            if not float_close(float(disk.get(col, 0.0)),
+                               float(mem.get(col, 0.0))):
+                failures.append(
+                    f"n={n} {pipeline}: kcb {col} = {disk.get(col)!r} != "
+                    f"memory {mem.get(col)!r} (disk runs must reproduce the "
+                    f"in-memory result)")
+        ratio = (float(disk["pts_per_sec"]) / float(mem["pts_per_sec"])
+                 if float(mem.get("pts_per_sec", 0.0)) > 0 else 0.0)
+        status = "ok" if ratio >= min_ingest_ratio else "FAIL"
+        print(f"  n={n} {pipeline}: kcb/memory ingest = {ratio:.2f}x "
+              f"[{status}]")
+        if ratio < min_ingest_ratio:
+            failures.append(
+                f"n={n} {pipeline}: disk ingest at {ratio:.2f}x of the "
+                f"in-memory rate, below the {min_ingest_ratio:g}x floor")
+
+    # 3. Fixed memory: per pipeline, the largest-n disk row's RSS
+    # high-water mark may sit at most rss_slack_mb above the smallest-n
+    # one.  (RSS is process-monotone and bench_scale orders disk runs
+    # ascending in n, so the delta isolates what the larger run added.)
+    by_pipeline = {}
+    for (n, pipeline, source), rec in candidate.items():
+        if source == "kcb" and "peak_rss_mb" in rec:
+            by_pipeline.setdefault(pipeline, []).append(
+                (n, float(rec["peak_rss_mb"])))
+    for pipeline, rows in sorted(by_pipeline.items()):
+        if len(rows) < 2:
+            continue
+        rows.sort()
+        (n_lo, rss_lo), (n_hi, rss_hi) = rows[0], rows[-1]
+        delta = rss_hi - rss_lo
+        status = "ok" if delta <= rss_slack_mb else "FAIL"
+        print(f"  {pipeline}: peak RSS {rss_lo:.0f} MB @ n={n_lo} -> "
+              f"{rss_hi:.0f} MB @ n={n_hi} (delta {delta:.0f} MB) [{status}]")
+        if delta > rss_slack_mb:
+            failures.append(
+                f"{pipeline}: disk-run peak RSS grew {delta:.0f} MB from "
+                f"n={n_lo} to n={n_hi}, beyond the {rss_slack_mb:g} MB "
+                f"slack — out-of-core runs must not scale memory with n")
+
+    if failures:
+        print(f"check_bench: FAIL ({candidate_path} vs {baseline_path}, "
+              f"scale)")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"check_bench: OK — {len(candidate)} scale rows: baseline "
+          f"reproduced, disk == memory, ingest >= {min_ingest_ratio:g}x, "
+          f"RSS flat in n")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("candidate", help="fresh engine smoke JSONL")
@@ -158,12 +305,24 @@ def main():
     parser.add_argument("--min-speedup", type=float, default=1.2,
                         help="--kernel mode: required simd/scalar points-per-"
                              "sec ratio in every (n, d, norm) group")
+    parser.add_argument("--scale", action="store_true",
+                        help="gate the out-of-core scale_ingest records in "
+                             "CANDIDATE against BASELINE (bench_scale runs)")
+    parser.add_argument("--min-ingest-ratio", type=float, default=0.5,
+                        help="--scale mode: required kcb/memory points-per-"
+                             "sec ratio at each shared (n, pipeline)")
+    parser.add_argument("--rss-slack-mb", type=float, default=160.0,
+                        help="--scale mode: allowed peak-RSS growth between "
+                             "the smallest- and largest-n disk runs")
     args = parser.parse_args()
 
     if args.kernel:
         return check_kernel(args.candidate, args.min_speedup)
     if args.baseline is None:
         parser.error("BASELINE is required unless --kernel is given")
+    if args.scale:
+        return check_scale(args.candidate, args.baseline,
+                           args.min_ingest_ratio, args.rss_slack_mb)
 
     candidate = load_records(args.candidate)
     baseline = load_records(args.baseline)

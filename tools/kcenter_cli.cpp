@@ -12,10 +12,9 @@
 // Unknown flags are an error (usage text + exit 2), so a typo'd flag in a
 // CI smoke step fails the job instead of silently running the defaults.
 
-#include <cmath>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
+#include <exception>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,10 +38,14 @@ constexpr const char kUsage[] =
     "  --window <W>                  sliding-window length (0 = whole stream)\n"
     "  --delta <D>                   dynamic universe side [256]\n"
     "  --det-recovery                dynamic: deterministic power-sum sketch\n"
-    "  --input <csv>                 cluster a CSV instead of a generated\n"
-    "                                workload (one point per line; with\n"
-    "                                --weighted the last column is an\n"
-    "                                integer weight); NaN/Inf rejected\n"
+    "  --input <csv|kcb>             cluster a file instead of a generated\n"
+    "                                workload.  CSV: one point per line\n"
+    "                                (strict parse; with --weighted the\n"
+    "                                last column is an integer weight).\n"
+    "                                .kcb (see kcb_convert): streamed out\n"
+    "                                of core in fixed memory by dataset-\n"
+    "                                capable pipelines; others materialize\n"
+    "                                the file if it is small enough\n"
     "  --weighted                    --input: last CSV column is a weight\n"
     "  --fault-seed <s>              MPC fault-schedule seed [0]\n"
     "  --fault-crash/--fault-drop    per-attempt crash / message-drop\n"
@@ -65,77 +68,6 @@ const std::vector<std::string>& known_flags() {
       "fault-seed", "fault-crash", "fault-drop", "fault-truncate",
       "fault-straggle", "fault-retries", "fault-policy", "help"};
   return flags;
-}
-
-// CSV loader for --input: one point per line, comma-separated coordinates
-// (last column = integer weight with --weighted).  NaN/Inf coordinates and
-// non-finite/non-positive weights are rejected with a clear error — they
-// would otherwise silently poison the distance kernels.
-WeightedSet read_csv_points(const std::string& path, bool weighted) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
-    std::exit(1);
-  }
-  WeightedSet pts;
-  std::string line;
-  int dim = -1;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty() || line[0] == '#') continue;
-    std::vector<double> cols;
-    std::stringstream ss(line);
-    std::string cell;
-    while (std::getline(ss, cell, ',')) {
-      try {
-        cols.push_back(std::stod(cell));
-      } catch (...) {
-        cols.clear();
-        break;  // header or malformed line: skip
-      }
-    }
-    if (cols.empty()) continue;
-    for (std::size_t c = 0; c < cols.size(); ++c) {
-      if (!std::isfinite(cols[c])) {
-        std::fprintf(stderr,
-                     "error: %s line %zu column %zu: non-finite value\n",
-                     path.c_str(), lineno, c + 1);
-        std::exit(1);
-      }
-    }
-    std::int64_t w = 1;
-    if (weighted) {
-      if (cols.size() < 2) {
-        std::fprintf(stderr,
-                     "error: %s line %zu: --weighted needs >= 2 columns\n",
-                     path.c_str(), lineno);
-        std::exit(1);
-      }
-      w = static_cast<std::int64_t>(cols.back());
-      if (w <= 0) {
-        std::fprintf(stderr, "error: %s line %zu: non-positive weight\n",
-                     path.c_str(), lineno);
-        std::exit(1);
-      }
-      cols.pop_back();
-    }
-    if (dim < 0) dim = static_cast<int>(cols.size());
-    if (static_cast<int>(cols.size()) != dim ||
-        dim > Point::kMaxDim) {
-      std::fprintf(stderr,
-                   "error: %s line %zu has %zu coordinate columns, "
-                   "expected %d (max %d)\n",
-                   path.c_str(), lineno, cols.size(), dim, Point::kMaxDim);
-      std::exit(1);
-    }
-    pts.push_back({Point(std::span<const double>(cols)), w});
-  }
-  if (pts.empty()) {
-    std::fprintf(stderr, "error: no points parsed from %s\n", path.c_str());
-    std::exit(1);
-  }
-  return pts;
 }
 
 Norm parse_norm(const std::string& name) {
@@ -243,23 +175,54 @@ int main(int argc, char** argv) {
   if (flags.has("input")) {
     // External instance: no certified optimum bracket, so quality-bound
     // enforcement below is skipped (quality vs the direct solve remains).
-    WeightedSet pts =
-        read_csv_points(flags.get_string("input", ""), flags.has("weighted"));
-    cfg.dim = pts.front().p.dim();
-    workload.planted.buffer = kernels::PointBuffer(pts);
-    workload.planted.points = std::move(pts);
-    workload.planted.config.n = workload.planted.points.size();
-    workload.order = shuffled_order(workload.n(), cfg.seed + 1);
+    const std::string input = flags.get_string("input", "");
+    const bool is_kcb =
+        input.size() >= 4 && input.compare(input.size() - 4, 4, ".kcb") == 0;
+    try {
+      if (is_kcb) {
+        auto src = std::make_shared<dataset::KcbSource>(input);
+        cfg.dim = src->dim();
+        workload = engine::make_dataset_workload(std::move(src));
+        if (cfg.with_direct_solve) {
+          // The direct solve needs the full set in memory — the very thing
+          // the out-of-core path avoids.  Radius stays exact (chunked
+          // evaluation); only the quality column is dropped.
+          std::printf("note: .kcb input streams out of core; direct solve "
+                      "disabled (quality column omitted)\n");
+          cfg.with_direct_solve = false;
+        }
+      } else {
+        WeightedSet pts =
+            dataset::read_csv_points(input, flags.has("weighted"));
+        cfg.dim = pts.front().p.dim();
+        workload.planted.buffer = kernels::PointBuffer(pts);
+        workload.planted.points = std::move(pts);
+        workload.planted.config.n = workload.planted.points.size();
+        workload.order = shuffled_order(workload.n(), cfg.seed + 1);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
   } else {
     workload = engine::make_workload(n, cfg);
   }
 
-  std::printf("kcenter_cli: n=%zu k=%d z=%lld eps=%g dim=%d norm=%s seed=%llu "
-              "(planted opt in [%.4f, %.4f])\n\n",
-              workload.n(), cfg.k, static_cast<long long>(cfg.z), cfg.eps,
-              cfg.dim, cfg.metric().name(),
-              static_cast<unsigned long long>(cfg.seed),
-              workload.planted.opt_lo, workload.planted.opt_hi);
+  if (workload.from_dataset()) {
+    std::printf("kcenter_cli: dataset %s: n=%zu k=%d z=%lld eps=%g dim=%d "
+                "norm=%s seed=%llu (streamed out of core)\n\n",
+                workload.source->describe().c_str(), workload.n(), cfg.k,
+                static_cast<long long>(cfg.z), cfg.eps, cfg.dim,
+                cfg.metric().name(),
+                static_cast<unsigned long long>(cfg.seed));
+  } else {
+    std::printf("kcenter_cli: n=%zu k=%d z=%lld eps=%g dim=%d norm=%s "
+                "seed=%llu (planted opt in [%.4f, %.4f])\n\n",
+                workload.n(), cfg.k, static_cast<long long>(cfg.z), cfg.eps,
+                cfg.dim, cfg.metric().name(),
+                static_cast<unsigned long long>(cfg.seed),
+                workload.planted.opt_lo, workload.planted.opt_hi);
+  }
 
   std::vector<std::string> header{"pipeline", "model", "coreset", "words",
                                   "rounds", "comm", "radius", "quality",
@@ -268,9 +231,31 @@ int main(int argc, char** argv) {
   Table table(header);
   bool any_grid_space = false;
   bool silent_violation = false;
+  // Pipelines without a streaming path fall back to one shared in-memory
+  // copy of the dataset, built lazily on first use; when the source is too
+  // large to materialize they are skipped (with a note) instead of blowing
+  // the memory budget the out-of-core path exists to keep.
+  engine::Workload materialized;
+  std::string materialize_error;
+  std::vector<std::string> skipped;
   for (const auto& name : names) {
     const auto pipeline = engine::registry().make(name);
-    const auto res = pipeline->execute(workload, cfg);
+    const engine::Workload* run_on = &workload;
+    if (workload.from_dataset() && !pipeline->supports_dataset()) {
+      if (materialized.planted.points.empty() && materialize_error.empty()) {
+        try {
+          materialized = engine::materialize_workload(*workload.source);
+        } catch (const std::exception& e) {
+          materialize_error = e.what();
+        }
+      }
+      if (!materialize_error.empty()) {
+        skipped.push_back(name);
+        continue;
+      }
+      run_on = &materialized;
+    }
+    const auto res = pipeline->execute(*run_on, cfg);
     const auto& r = res.report;
     const bool grid_space = r.get("grid_space") > 0;
     any_grid_space = any_grid_space || grid_space;
@@ -301,6 +286,13 @@ int main(int argc, char** argv) {
     json.record("engine_pipeline", r.json_fields());
   }
   table.print();
+  if (!skipped.empty()) {
+    std::printf("\n  skipped (no streaming path, and the dataset cannot be "
+                "materialized): ");
+    for (std::size_t i = 0; i < skipped.size(); ++i)
+      std::printf("%s%s", i ? ", " : "", skipped[i].c_str());
+    std::printf("\n  reason: %s\n", materialize_error.c_str());
+  }
   if (any_grid_space)
     std::printf("\n  * radius in discretized [Delta]^d coordinates (scale "
                 "set by --delta); compare via the scale-free quality "
