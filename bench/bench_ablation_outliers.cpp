@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
       TwoRoundOptions opt;
       opt.eps = eps;
       Timer timer;
-      const auto res = two_round_coreset(parts, k, z, metric, opt);
+      const auto res = two_round_coreset(parts, k, z, metric, {}, opt);
       t.add_row({"ours (r-hat rule)", fmt_count(z),
                  fmt_count(static_cast<long long>(n_cloud)),
                  fmt_count(static_cast<long long>(res.merged.size())),
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
       GuhaOptions opt;
       opt.eps = eps;
       Timer timer;
-      const auto res = guha_local_z_coreset(parts, k, z, metric, opt);
+      const auto res = guha_local_z_coreset(parts, k, z, metric, {}, opt);
       t.add_row({"guha local-z", fmt_count(z),
                  fmt_count(static_cast<long long>(n_cloud)),
                  fmt_count(static_cast<long long>(res.merged.size())),
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
       CeccarelloOptions opt;
       opt.eps = eps;
       Timer timer;
-      const auto res = ceccarello_coreset(parts, k, z, metric, opt);
+      const auto res = ceccarello_coreset(parts, k, z, metric, {}, opt);
       t.add_row({"ceccarello", fmt_count(z),
                  fmt_count(static_cast<long long>(n_cloud)),
                  fmt_count(static_cast<long long>(res.merged.size())),

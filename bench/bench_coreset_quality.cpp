@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
           inst.points, 8, mpc::PartitionKind::EvenSorted, seed);
       mpc::TwoRoundOptions opt;
       opt.eps = eps;
-      const auto res = mpc::two_round_coreset(parts, k, z, metric, opt);
+      const auto res = mpc::two_round_coreset(parts, k, z, metric, {}, opt);
       const double ratio =
           quality_ratio(inst.points, res.coreset, k, z, metric);
       t.add_row({"MPC 2-round", fmt(eps, 2),
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
       mpc::OneRoundOptions opt;
       opt.eps = eps;
       const auto res =
-          mpc::one_round_coreset(parts, k, z, n, metric, opt);
+          mpc::one_round_coreset(parts, k, z, n, metric, {}, opt);
       const double ratio =
           quality_ratio(inst.points, res.coreset, k, z, metric);
       t.add_row({"MPC 1-round", fmt(eps, 2),
@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
       mpc::MultiRoundOptions opt;
       opt.eps = eps / 2.0;  // (1+ε/2)²−1 ≈ ε
       opt.rounds = 2;
-      const auto res = mpc::multi_round_coreset(parts, k, z, metric, opt);
+      const auto res = mpc::multi_round_coreset(parts, k, z, metric, {}, opt);
       const double ratio =
           quality_ratio(inst.points, res.coreset, k, z, metric);
       t.add_row({"MPC R-round (R=2)", fmt(eps, 2),

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     opt.eps = eps;
     opt.rounds = R;
     Timer timer;
-    const auto res = multi_round_coreset(parts, k, z, metric, opt);
+    const auto res = multi_round_coreset(parts, k, z, metric, {}, opt);
     const double ms = timer.millis();
     // Theorem 35 prediction (up to constants): n^{1/(R+1)}(k/ε^d+z)^{R/(R+1)}
     const double core_term =

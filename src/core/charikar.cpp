@@ -222,7 +222,7 @@ CharikarResult charikar_oracle(const WeightedSet& pts, int k, std::int64_t z,
   // One SoA pack shared by every ladder guess: use the caller's prebuilt
   // buffer when it matches, else pack here — never once per guess.
   kernels::PointBuffer local;
-  const kernels::PointBuffer* buffer = opt.buffer;
+  const kernels::PointBuffer* buffer = opt.exec.buffer;
   if ((buffer == nullptr || buffer->size() != pts.size()) &&
       metric.norm() != Norm::Custom && pts.size() >= kGridMinPoints) {
     local = kernels::PointBuffer(pts);
@@ -230,7 +230,7 @@ CharikarResult charikar_oracle(const WeightedSet& pts, int k, std::int64_t z,
   }
 
   CharikarRun best_run = charikar_run(pts, k, z, candidate(0), metric,
-                                      opt.pool, buffer);
+                                      opt.exec.pool, buffer);
   KC_ENSURES(best_run.success);  // r = hi ≥ opt always succeeds
   int best_j = 0;
 
@@ -238,7 +238,7 @@ CharikarResult charikar_oracle(const WeightedSet& pts, int k, std::int64_t z,
   while (lo_j < hi_j) {
     const int mid = lo_j + (hi_j - lo_j + 1) / 2;
     CharikarRun run = charikar_run(pts, k, z, candidate(mid), metric,
-                                   opt.pool, buffer);
+                                   opt.exec.pool, buffer);
     if (run.success) {
       lo_j = mid;
       best_run = std::move(run);

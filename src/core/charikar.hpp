@@ -30,6 +30,7 @@
 #include <optional>
 
 #include "core/types.hpp"
+#include "mpc/context.hpp"
 
 namespace kc {
 
@@ -74,11 +75,12 @@ struct CharikarResult {
 struct CharikarOptions {
   double beta = 0.25;    ///< ladder density; ρ grows with (1+β)
   int max_ladder = 96;   ///< ladder length cap (range 2^{-max_ladder}·hi .. hi)
-  ThreadPool* pool = nullptr;  ///< forwarded to every charikar_run (not owned)
-  /// Prebuilt SoA buffer of `pts` in the same order (not owned).  When null
-  /// the oracle builds one itself — once, shared by every ladder guess.
-  /// Ignored when stale (size mismatch); results are identical either way.
-  const kernels::PointBuffer* buffer = nullptr;
+  /// Execution environment (mpc/context.hpp): `exec.pool` is forwarded to
+  /// every charikar_run; `exec.buffer` is a prebuilt SoA buffer of `pts`
+  /// in the same order — when null the oracle builds one itself, once,
+  /// shared by every ladder guess (ignored when stale; results are
+  /// identical either way).  Fault/transport members are unused here.
+  mpc::ExecContext exec;
 };
 
 /// Full oracle: ladder construction + binary search for the smallest

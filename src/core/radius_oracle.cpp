@@ -20,35 +20,35 @@ namespace {
 
 RadiusEstimate charikar_estimate(const WeightedSet& pts, int k, std::int64_t z,
                                  const Metric& metric, double beta,
-                                 ThreadPool* pool,
-                                 const kernels::PointBuffer* buffer) {
+                                 const mpc::ExecContext& exec) {
   CharikarOptions copt;
   copt.beta = beta;
-  copt.pool = pool;
-  copt.buffer = buffer;
+  copt.exec = exec;
   const CharikarResult res = charikar_oracle(pts, k, z, metric, copt);
   return {res.radius, 3.0 * (1.0 + beta)};
 }
 
 RadiusEstimate summary_estimate(const WeightedSet& pts, int k, std::int64_t z,
                                 const Metric& metric, double gamma,
-                                double beta, ThreadPool* pool,
-                                const kernels::PointBuffer* buffer) {
+                                double beta, const mpc::ExecContext& exec) {
   if (pts.empty()) return {0.0, 1.0};
   const int dim = pts.front().p.dim();
   const std::int64_t tau = summary_center_budget(k, z, gamma, dim);
   if (static_cast<std::int64_t>(pts.size()) <= tau) {
     // Summary would be the whole input: fall back to Charikar directly.
-    return charikar_estimate(pts, k, z, metric, beta, pool, buffer);
+    return charikar_estimate(pts, k, z, metric, beta, exec);
   }
   const GonzalezResult g = gonzalez(pts, static_cast<int>(tau), metric,
-                                    /*stop_radius=*/0.0, pool, buffer);
+                                    /*stop_radius=*/0.0, exec.pool,
+                                    exec.buffer);
   const double delta = g.delta.back();  // ≤ γ·opt by the packing bound
   const WeightedSet summary = gonzalez_summary(pts, g);
   // The caller's buffer mirrors `pts`, not the summary; the Charikar oracle
   // packs the (small) summary itself, once for its whole ladder.
+  mpc::ExecContext summary_exec = exec;
+  summary_exec.buffer = nullptr;
   const RadiusEstimate rs =
-      charikar_estimate(summary, k, z, metric, beta, pool, nullptr);
+      charikar_estimate(summary, k, z, metric, beta, summary_exec);
   // opt(P) ≤ opt(S) + δ ≤ r_S + δ, and
   // r_S + δ ≤ ρ_C·opt(S) + δ ≤ ρ_C(opt+δ) + δ ≤ (ρ_C(1+γ) + γ)·opt.
   const double rho = rs.rho * (1.0 + gamma) + gamma;
@@ -61,17 +61,15 @@ RadiusEstimate estimate_radius(const WeightedSet& pts, int k, std::int64_t z,
                                const Metric& metric, const OracleOptions& opt) {
   switch (opt.kind) {
     case OracleKind::Charikar:
-      return charikar_estimate(pts, k, z, metric, opt.beta, opt.pool,
-                               opt.buffer);
+      return charikar_estimate(pts, k, z, metric, opt.beta, opt.exec);
     case OracleKind::Summary:
       return summary_estimate(pts, k, z, metric, opt.gamma, opt.beta,
-                              opt.pool, opt.buffer);
+                              opt.exec);
     case OracleKind::Auto:
       if (pts.size() > opt.auto_threshold)
         return summary_estimate(pts, k, z, metric, opt.gamma, opt.beta,
-                                opt.pool, opt.buffer);
-      return charikar_estimate(pts, k, z, metric, opt.beta, opt.pool,
-                               opt.buffer);
+                                opt.exec);
+      return charikar_estimate(pts, k, z, metric, opt.beta, opt.exec);
   }
   return {0.0, 1.0};  // unreachable
 }

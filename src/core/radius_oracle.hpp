@@ -29,10 +29,9 @@
 #include <cstdint>
 
 #include "core/types.hpp"
+#include "mpc/context.hpp"
 
 namespace kc {
-
-class ThreadPool;  // util/parallel.hpp
 
 struct RadiusEstimate {
   double radius = 0.0;  ///< estimate r with opt ≤ r ≤ rho·opt
@@ -46,13 +45,13 @@ struct OracleOptions {
   double beta = 0.25;      ///< Charikar ladder density
   double gamma = 0.5;      ///< Summary oracle target δ/opt ratio
   std::size_t auto_threshold = 600;  ///< Auto: input size above which Summary is used
-  ThreadPool* pool = nullptr;  ///< chunk-parallel batch kernels (not owned);
-                               ///< results are bit-identical with or without
-  /// Prebuilt SoA buffer of the input in the same order (not owned).  The
-  /// Gonzalez and Charikar passes then skip their own AoS→SoA re-pack.
-  /// Ignored when null or stale (size mismatch); results are identical
-  /// either way.
-  const kernels::PointBuffer* buffer = nullptr;
+  /// Execution environment (mpc/context.hpp): `exec.pool` runs the
+  /// chunk-parallel batch kernels (results are bit-identical with or
+  /// without); `exec.buffer` is a prebuilt SoA buffer of the input in the
+  /// same order, letting the Gonzalez and Charikar passes skip their own
+  /// AoS→SoA re-pack (ignored when null or stale — results are identical
+  /// either way).  Fault/transport members are unused here.
+  mpc::ExecContext exec;
 };
 
 /// Computes a two-sided estimate of optk,z(pts).

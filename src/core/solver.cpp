@@ -18,13 +18,14 @@ Solution solve_kcenter_outliers(const WeightedSet& pts, int k, std::int64_t z,
   // the Gonzalez compression, the Charikar ladder (when uncompressed), and
   // the final evaluation — one pack for the whole solve.
   const kernels::PointBuffer* buffer =
-      (oracle.buffer != nullptr && oracle.buffer->size() == pts.size())
-          ? oracle.buffer
+      (oracle.exec.buffer != nullptr &&
+       oracle.exec.buffer->size() == pts.size())
+          ? oracle.exec.buffer
           : nullptr;
   CharikarOptions copt;
   copt.beta = oracle.beta;
-  copt.pool = oracle.pool;
-  copt.buffer = buffer;
+  copt.exec = oracle.exec;
+  copt.exec.buffer = buffer;
 
   // The Charikar greedy is O(ladder · k · n²); above the threshold we first
   // compress with a Gonzalez summary (covering radius ≤ γ·opt by the
@@ -37,11 +38,11 @@ Solution solve_kcenter_outliers(const WeightedSet& pts, int k, std::int64_t z,
     const std::int64_t tau = summary_center_budget(k, z, oracle.gamma, dim);
     if (static_cast<std::int64_t>(pts.size()) > tau) {
       const GonzalezResult g = gonzalez(pts, static_cast<int>(tau), metric,
-                                        /*stop_radius=*/0.0, oracle.pool,
+                                        /*stop_radius=*/0.0, oracle.exec.pool,
                                         buffer);
       summary = gonzalez_summary(pts, g);
       work = &summary;
-      copt.buffer = nullptr;  // the buffer mirrors pts, not the summary
+      copt.exec.buffer = nullptr;  // the buffer mirrors pts, not the summary
     }
   }
 

@@ -91,7 +91,9 @@ class DynamicPipeline final : public Pipeline {
       live.push_back({g.to_point(), 1});
       live_buf.append(live.back().p);
     }
-    extract_and_evaluate(res, live, cfg, w, /*pool=*/nullptr, &live_buf);
+    mpc::ExecContext tail;
+    tail.buffer = &live_buf;
+    extract_and_evaluate(res, live, cfg, w, tail);
     return res;
   }
 

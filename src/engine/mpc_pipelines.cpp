@@ -19,6 +19,7 @@
 #include "mpc/one_round.hpp"
 #include "mpc/partition.hpp"
 #include "mpc/simulator.hpp"
+#include "mpc/transport.hpp"
 #include "mpc/two_round.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
@@ -36,6 +37,17 @@ class MpcPipeline : public Pipeline {
     const auto parts = mpc::partition_points(
         w.planted.points, cfg.machines, partition_kind(cfg),
         cfg.partition_seed);
+    int dim = 1;
+    for (const auto& part : parts)
+      if (!part.empty()) {
+        dim = part.front().p.dim();
+        break;
+      }
+    // One transport per run, opened (for the process backend: workers
+    // forked) *before* the thread pool exists — forking a multi-threaded
+    // parent is unsafe, and the simulator's own open() is then a no-op.
+    std::unique_ptr<mpc::Transport> transport = mpc::make_transport(cfg.backend);
+    transport->open(cfg.machines, dim);
     // One pool per run: the simulator fans the per-machine map phase out
     // over it, and the extraction tail reuses it for the batch kernels.
     // Outputs are bit-identical for every cfg.num_threads (the registered
@@ -45,9 +57,13 @@ class MpcPipeline : public Pipeline {
     // set.  Inactive (all probabilities zero) makes every simulator path
     // byte-identical to the fault-free build.
     mpc::FaultInjector faults(cfg.fault_config());
+    mpc::ExecContext ctx;
+    ctx.pool = &pool;
+    ctx.faults = &faults;
+    ctx.transport = transport.get();
     PipelineResult res;
     Timer timer;
-    const mpc::MpcStats stats = run_mpc(parts, w, cfg, res, &pool, &faults);
+    const mpc::MpcStats stats = run_mpc(parts, w, cfg, res, ctx);
     res.report.build_ms = timer.millis();
     res.report.rounds = stats.rounds;
     res.report.words = stats.max_worker_words();
@@ -56,8 +72,15 @@ class MpcPipeline : public Pipeline {
                    static_cast<double>(stats.coordinator_words()));
     res.report.set("threads", static_cast<double>(stats.threads));
     res.report.set("map_ms", stats.map_ms);
+    // Measured wire traffic is stamped only for the process backend: the
+    // local hand-off moves no bytes, and leaving the keys out keeps
+    // local-backend reports byte-identical to the historical ones.
+    if (cfg.backend == mpc::Backend::Process)
+      stamp_wire_extras(res.report, stats);
     if (faults.enabled()) stamp_fault_extras(res.report, stats.faults);
-    extract_and_evaluate(res, w.planted.points, cfg, w, &pool);
+    mpc::ExecContext tail;
+    tail.pool = &pool;
+    extract_and_evaluate(res, w.planted.points, cfg, w, tail);
     return res;
   }
 
@@ -70,14 +93,34 @@ class MpcPipeline : public Pipeline {
   }
 
   /// Runs the algorithm, fills `res.coreset` + algorithm-specific extras,
-  /// and returns the simulator stats.  `pool` drives the map phase;
-  /// `faults` carries the run's (possibly inactive) fault plan.
+  /// and returns the simulator stats.  `ctx` carries the run's execution
+  /// environment: the pool driving the map phase, the (possibly inactive)
+  /// fault plan, and the already-opened transport.
   [[nodiscard]] virtual mpc::MpcStats run_mpc(
       const std::vector<WeightedSet>& parts, const Workload& w,
-      const PipelineConfig& cfg, PipelineResult& res, ThreadPool* pool,
-      mpc::FaultInjector* faults) const = 0;
+      const PipelineConfig& cfg, PipelineResult& res,
+      const mpc::ExecContext& ctx) const = 0;
 
  private:
+  /// Measured transport traffic next to the predicted words accounting.
+  /// `wire_ratio` compares bytes actually crossing the socket against the
+  /// model's `comm_words` at 8 bytes/word; framing overhead keeps it above
+  /// 1, and one re-encoded crossing per attempt keeps it well under 2 for
+  /// any non-trivial payload.
+  static void stamp_wire_extras(PipelineReport& rep,
+                                const mpc::MpcStats& stats) {
+    rep.set("wire_bytes", static_cast<double>(stats.wire.bytes));
+    rep.set("wire_frames", static_cast<double>(stats.wire.frames));
+    if (stats.total_comm_words > 0)
+      rep.set("wire_ratio",
+              static_cast<double>(stats.wire.bytes) /
+                  (8.0 * static_cast<double>(stats.total_comm_words)));
+    rep.set("route_ms", stats.route_ms);
+    if (stats.wire.worker_failures > 0)
+      rep.set("wire_worker_failures",
+              static_cast<double>(stats.wire.worker_failures));
+  }
+
   /// Fault accounting lands in the report only when injection was active,
   /// keeping fault-free reports byte-identical to the pre-fault ones.
   static void stamp_fault_extras(PipelineReport& rep,
@@ -112,14 +155,13 @@ class TwoRoundPipeline final : public MpcPipeline {
   [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
                                       const Workload&,
                                       const PipelineConfig& cfg,
-                                      PipelineResult& res, ThreadPool* pool,
-                                      mpc::FaultInjector* faults)
+                                      PipelineResult& res,
+                                      const mpc::ExecContext& ctx)
       const override {
     mpc::TwoRoundOptions opt;
     opt.eps = cfg.eps;
-    opt.pool = pool;
-    opt.faults = faults;
-    auto out = mpc::two_round_coreset(parts, cfg.k, cfg.z, cfg.metric(), opt);
+    auto out =
+        mpc::two_round_coreset(parts, cfg.k, cfg.z, cfg.metric(), ctx, opt);
     res.coreset = std::move(out.coreset);
     res.report.set("merged_size", static_cast<double>(out.merged.size()));
     res.report.set("r_hat", out.r_hat);
@@ -146,15 +188,13 @@ class OneRoundPipeline final : public MpcPipeline {
   [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
                                       const Workload& w,
                                       const PipelineConfig& cfg,
-                                      PipelineResult& res, ThreadPool* pool,
-                                      mpc::FaultInjector* faults)
+                                      PipelineResult& res,
+                                      const mpc::ExecContext& ctx)
       const override {
     mpc::OneRoundOptions opt;
     opt.eps = cfg.eps;
-    opt.pool = pool;
-    opt.faults = faults;
     auto out = mpc::one_round_coreset(parts, cfg.k, cfg.z, w.n(), cfg.metric(),
-                                      opt);
+                                      ctx, opt);
     res.coreset = std::move(out.coreset);
     res.report.set("merged_size", static_cast<double>(out.merged.size()));
     res.report.set("z_local", static_cast<double>(out.z_local));
@@ -177,15 +217,14 @@ class MultiRoundPipeline final : public MpcPipeline {
   [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
                                       const Workload&,
                                       const PipelineConfig& cfg,
-                                      PipelineResult& res, ThreadPool* pool,
-                                      mpc::FaultInjector* faults)
+                                      PipelineResult& res,
+                                      const mpc::ExecContext& ctx)
       const override {
     mpc::MultiRoundOptions opt;
     opt.eps = cfg.eps;
     opt.rounds = cfg.rounds;
-    opt.pool = pool;
-    opt.faults = faults;
-    auto out = mpc::multi_round_coreset(parts, cfg.k, cfg.z, cfg.metric(), opt);
+    auto out =
+        mpc::multi_round_coreset(parts, cfg.k, cfg.z, cfg.metric(), ctx, opt);
     res.coreset = std::move(out.coreset);
     res.report.set("beta", static_cast<double>(out.beta));
     res.report.set("eps_effective", out.eps_effective);
@@ -204,14 +243,13 @@ class CeccarelloPipeline final : public MpcPipeline {
   [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
                                       const Workload&,
                                       const PipelineConfig& cfg,
-                                      PipelineResult& res, ThreadPool* pool,
-                                      mpc::FaultInjector* faults)
+                                      PipelineResult& res,
+                                      const mpc::ExecContext& ctx)
       const override {
     mpc::CeccarelloOptions opt;
     opt.eps = cfg.eps;
-    opt.pool = pool;
-    opt.faults = faults;
-    auto out = mpc::ceccarello_coreset(parts, cfg.k, cfg.z, cfg.metric(), opt);
+    auto out =
+        mpc::ceccarello_coreset(parts, cfg.k, cfg.z, cfg.metric(), ctx, opt);
     res.coreset = std::move(out.coreset);
     res.report.set("merged_size", static_cast<double>(out.merged.size()));
     res.report.set("tau", static_cast<double>(out.tau));
@@ -230,15 +268,13 @@ class GuhaPipeline final : public MpcPipeline {
   [[nodiscard]] mpc::MpcStats run_mpc(const std::vector<WeightedSet>& parts,
                                       const Workload&,
                                       const PipelineConfig& cfg,
-                                      PipelineResult& res, ThreadPool* pool,
-                                      mpc::FaultInjector* faults)
+                                      PipelineResult& res,
+                                      const mpc::ExecContext& ctx)
       const override {
     mpc::GuhaOptions opt;
     opt.eps = cfg.eps;
-    opt.pool = pool;
-    opt.faults = faults;
     auto out =
-        mpc::guha_local_z_coreset(parts, cfg.k, cfg.z, cfg.metric(), opt);
+        mpc::guha_local_z_coreset(parts, cfg.k, cfg.z, cfg.metric(), ctx, opt);
     res.coreset = std::move(out.coreset);
     res.report.set("merged_size", static_cast<double>(out.merged.size()));
     return out.stats;

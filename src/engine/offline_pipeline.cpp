@@ -27,8 +27,8 @@ class OfflinePipeline final : public Pipeline {
     const Metric metric = cfg.metric();
     ThreadPool pool(cfg.num_threads);
     OracleOptions oracle;
-    oracle.pool = &pool;
-    oracle.buffer = w.buffer();  // canonical SoA input — no re-pack
+    oracle.exec.pool = &pool;
+    oracle.exec.buffer = w.buffer();  // canonical SoA input — no re-pack
     PipelineResult res;
     Timer timer;
     const MiniBallCovering mbc =
@@ -40,7 +40,9 @@ class OfflinePipeline final : public Pipeline {
     res.report.set("cover_radius", mbc.cover_radius);
     res.report.set("oracle_radius", mbc.oracle_radius);
     res.report.set("threads", static_cast<double>(pool.num_threads()));
-    extract_and_evaluate(res, w.planted.points, cfg, w, &pool);
+    mpc::ExecContext tail;
+    tail.pool = &pool;
+    extract_and_evaluate(res, w.planted.points, cfg, w, tail);
     return res;
   }
 };

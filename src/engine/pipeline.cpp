@@ -165,8 +165,8 @@ double direct_radius(const WeightedSet& ground_truth,
   }
   Timer timer;
   OracleOptions oracle;
-  oracle.pool = pool;
-  oracle.buffer = ground_truth_buffer(ground_truth, w, gt_buffer);
+  oracle.exec.pool = pool;
+  oracle.exec.buffer = ground_truth_buffer(ground_truth, w, gt_buffer);
   const Solution direct =
       solve_kcenter_outliers(ground_truth, cfg.k, cfg.z, cfg.metric(), oracle);
   report.set("direct_ms", timer.millis());
@@ -179,25 +179,25 @@ double direct_radius(const WeightedSet& ground_truth,
 
 void extract_and_evaluate(PipelineResult& res, const WeightedSet& ground_truth,
                           const PipelineConfig& cfg, const Workload& w,
-                          ThreadPool* pool,
-                          const kernels::PointBuffer* gt_buffer) {
+                          const mpc::ExecContext& ctx) {
   if (!cfg.with_extraction || res.coreset.empty()) return;
   const Metric metric = cfg.metric();
   Timer timer;
   OracleOptions oracle;
-  oracle.pool = pool;
+  oracle.exec.pool = ctx.pool;
   const Solution via =
       solve_kcenter_outliers(res.coreset, cfg.k, cfg.z, metric, oracle);
   const double small_ms = timer.millis();
-  evaluate_centers(res, via.centers, ground_truth, cfg, w, pool, gt_buffer);
+  evaluate_centers(res, via.centers, ground_truth, cfg, w, ctx);
   res.report.solve_ms += small_ms;
 }
 
 void evaluate_centers(PipelineResult& res, PointSet centers,
                       const WeightedSet& ground_truth,
                       const PipelineConfig& cfg, const Workload& w,
-                      ThreadPool* pool,
-                      const kernels::PointBuffer* gt_buffer) {
+                      const mpc::ExecContext& ctx) {
+  ThreadPool* pool = ctx.pool;
+  const kernels::PointBuffer* gt_buffer = ctx.buffer;
   const Metric metric = cfg.metric();
   const kernels::PointBuffer* buf =
       ground_truth_buffer(ground_truth, w, gt_buffer);

@@ -31,8 +31,10 @@
 
 #include "core/types.hpp"
 #include "geometry/grid.hpp"
+#include "mpc/context.hpp"
 #include "mpc/faults.hpp"
 #include "mpc/partition.hpp"
+#include "mpc/transport.hpp"
 #include "stream/insertion_only.hpp"
 #include "util/jsonlog.hpp"
 #include "workload/generators.hpp"
@@ -85,6 +87,13 @@ struct PipelineConfig {
 
   // MPC knobs.
   int machines = 8;
+  /// Message transport the MPC simulator routes through: `Local` is the
+  /// in-process hand-off (byte-identical to the historical simulator),
+  /// `Process` forks one worker endpoint per machine and ships every
+  /// message as a checksummed wire frame, reporting measured
+  /// `wire_bytes`/`wire_ratio` next to the predicted `comm_words`.
+  /// Result columns are byte-identical across backends at a fixed seed.
+  mpc::Backend backend = mpc::Backend::Local;
   mpc::PartitionKind partition = mpc::PartitionKind::EvenSorted;
   std::uint64_t partition_seed = 1;
   int rounds = 2;  ///< R for the R-round trade-off pipeline
@@ -304,25 +313,24 @@ class Pipeline {
 /// solution, radius, radius_direct, quality, and solve_ms.  No-op on an
 /// empty summary or when `cfg.with_extraction` is off.  `w` is the
 /// workload the run consumes: direct solves are memoized in its cache
-/// when `ground_truth` is the workload's own planted point set.  `pool`
-/// (optional) runs the solver's batch kernels chunk-parallel — results
-/// are bit-identical with or without it.  `gt_buffer` (optional) is a SoA
+/// when `ground_truth` is the workload's own planted point set.  `ctx`
+/// carries the extraction tail's execution environment (mpc/context.hpp):
+/// `ctx.pool` runs the solver's batch kernels chunk-parallel — results
+/// are bit-identical with or without it — and `ctx.buffer` is a SoA
 /// buffer of `ground_truth` in the same order, for pipelines whose ground
 /// truth is NOT the planted set (window contents, discretized live set);
 /// when null and `ground_truth` is the planted set, the workload's
 /// canonical buffer is used automatically.
 void extract_and_evaluate(PipelineResult& res, const WeightedSet& ground_truth,
                           const PipelineConfig& cfg, const Workload& w,
-                          ThreadPool* pool = nullptr,
-                          const kernels::PointBuffer* gt_buffer = nullptr);
+                          const mpc::ExecContext& ctx = {});
 
 /// Variant for solution-only pipelines that already hold centers: evaluate
 /// them on `ground_truth` and fill radius/radius_direct/quality.
 void evaluate_centers(PipelineResult& res, PointSet centers,
                       const WeightedSet& ground_truth,
                       const PipelineConfig& cfg, const Workload& w,
-                      ThreadPool* pool = nullptr,
-                      const kernels::PointBuffer* gt_buffer = nullptr);
+                      const mpc::ExecContext& ctx = {});
 
 /// Out-of-core variant of `extract_and_evaluate`: solve on the summary,
 /// then evaluate the centers against the *source* one chunk at a time

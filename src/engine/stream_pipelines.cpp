@@ -177,7 +177,9 @@ class SlidingWindowPipeline final : public Pipeline {
           w.planted.points[arrival(w, static_cast<std::size_t>(t))]);
       window_buf.append(window.back().p);
     }
-    extract_and_evaluate(res, window, cfg, w, /*pool=*/nullptr, &window_buf);
+    mpc::ExecContext tail;
+    tail.buffer = &window_buf;
+    extract_and_evaluate(res, window, cfg, w, tail);
     return res;
   }
 };

@@ -12,6 +12,7 @@ namespace kc::mpc {
 CeccarelloResult ceccarello_coreset(const std::vector<WeightedSet>& parts,
                                     int k, std::int64_t z,
                                     const Metric& metric,
+                                    const ExecContext& ctx,
                                     const CeccarelloOptions& opt) {
   KC_EXPECTS(!parts.empty());
   const int m = static_cast<int>(parts.size());
@@ -27,7 +28,7 @@ CeccarelloResult ceccarello_coreset(const std::vector<WeightedSet>& parts,
       std::pow(std::ceil(4.0 / opt.eps), dim));
   const std::int64_t tau = (static_cast<std::int64_t>(k) + z) * per_center + 1;
 
-  Simulator sim(m, dim, opt.pool, opt.faults);
+  Simulator sim(m, dim, ctx);
   std::vector<WeightedSet> local(static_cast<std::size_t>(m));
 
   sim.round([&](int id, std::vector<Message>& /*inbox*/,

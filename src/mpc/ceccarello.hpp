@@ -26,8 +26,6 @@ namespace kc::mpc {
 struct CeccarelloOptions {
   double eps = 0.5;
   OracleOptions oracle;  ///< used only for the coordinator recompression
-  ThreadPool* pool = nullptr;  ///< runs the per-machine map phase (not owned)
-  FaultInjector* faults = nullptr;  ///< optional fault injection (not owned)
 };
 
 struct CeccarelloResult {
@@ -40,6 +38,7 @@ struct CeccarelloResult {
 
 [[nodiscard]] CeccarelloResult ceccarello_coreset(
     const std::vector<WeightedSet>& parts, int k, std::int64_t z,
-    const Metric& metric, const CeccarelloOptions& opt = {});
+    const Metric& metric, const ExecContext& ctx = {},
+    const CeccarelloOptions& opt = {});
 
 }  // namespace kc::mpc

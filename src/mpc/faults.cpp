@@ -79,11 +79,16 @@ GatherResult gather_with_recovery(Simulator& sim,
     return miss;
   };
 
+  // Shipments can go missing without an injector too: a real transport
+  // failure (worker exit, short read, timeout) loses the message just the
+  // same.  Reassign passes need the injector's policy/plan machinery, but
+  // the Lemma-4 write-off below is honest on any backend via the
+  // simulator's fault sink.
   std::vector<int> miss = missing();
-  if (miss.empty() || faults == nullptr) return out;
+  if (miss.empty()) return out;
 
-  const FaultConfig& fc = faults->config();
-  if (fc.policy == RecoveryPolicy::Reassign) {
+  if (faults != nullptr && faults->config().policy == RecoveryPolicy::Reassign) {
+    const FaultConfig& fc = faults->config();
     for (int pass = 0; pass < fc.max_recovery_rounds && !miss.empty();
          ++pass) {
       ++faults->stats().recovery_rounds;
@@ -132,9 +137,9 @@ GatherResult gather_with_recovery(Simulator& sim,
   // covering of the surviving points — the result degrades to a
   // (k, z + lost_weight) guarantee instead of failing.
   for (int i : miss) {
-    faults->stats().lost_weight +=
+    sim.fault_sink().lost_weight +=
         total_weight(parts[static_cast<std::size_t>(i)]);
-    faults->stats().degraded = true;
+    sim.fault_sink().degraded = true;
   }
   return out;
 }

@@ -8,6 +8,7 @@ namespace kc::mpc {
 
 GuhaResult guha_local_z_coreset(const std::vector<WeightedSet>& parts, int k,
                                 std::int64_t z, const Metric& metric,
+                                const ExecContext& ctx,
                                 const GuhaOptions& opt) {
   KC_EXPECTS(!parts.empty());
   const int m = static_cast<int>(parts.size());
@@ -18,7 +19,7 @@ GuhaResult guha_local_z_coreset(const std::vector<WeightedSet>& parts, int k,
       break;
     }
 
-  Simulator sim(m, dim, opt.pool, opt.faults);
+  Simulator sim(m, dim, ctx);
   std::vector<MiniBallCovering> local(static_cast<std::size_t>(m));
 
   sim.round([&](int id, std::vector<Message>& /*inbox*/,

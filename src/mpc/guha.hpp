@@ -22,8 +22,6 @@ namespace kc::mpc {
 struct GuhaOptions {
   double eps = 0.5;
   OracleOptions oracle;
-  ThreadPool* pool = nullptr;  ///< runs the per-machine map phase (not owned)
-  FaultInjector* faults = nullptr;  ///< optional fault injection (not owned)
 };
 
 struct GuhaResult {
@@ -35,6 +33,7 @@ struct GuhaResult {
 
 [[nodiscard]] GuhaResult guha_local_z_coreset(
     const std::vector<WeightedSet>& parts, int k, std::int64_t z,
-    const Metric& metric, const GuhaOptions& opt = {});
+    const Metric& metric, const ExecContext& ctx = {},
+    const GuhaOptions& opt = {});
 
 }  // namespace kc::mpc

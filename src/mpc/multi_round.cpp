@@ -12,6 +12,7 @@ namespace kc::mpc {
 MultiRoundResult multi_round_coreset(const std::vector<WeightedSet>& parts,
                                      int k, std::int64_t z,
                                      const Metric& metric,
+                                     const ExecContext& ctx,
                                      const MultiRoundOptions& opt) {
   KC_EXPECTS(!parts.empty());
   KC_EXPECTS(opt.rounds >= 1);
@@ -28,7 +29,7 @@ MultiRoundResult multi_round_coreset(const std::vector<WeightedSet>& parts,
       2, static_cast<int>(std::ceil(
              std::pow(static_cast<double>(m), 1.0 / opt.rounds))));
 
-  Simulator sim(m, dim, opt.pool, opt.faults);
+  Simulator sim(m, dim, ctx);
   FaultInjector* faults = sim.faults();
   // Holdings are the durable round-boundary checkpoints of the fault model:
   // a recovery adopter may rebuild any machine's stage output from them.
@@ -126,14 +127,13 @@ MultiRoundResult multi_round_coreset(const std::vector<WeightedSet>& parts,
             static_cast<int>(before - miss.size());
       }
     }
-    // Lemma 4: drop the unrecoverable holdings from the guarantee.  (With
-    // no injector every shipment is delivered, so `miss` is empty.)
-    if (faults != nullptr) {
-      for (int s : miss) {
-        faults->stats().lost_weight +=
-            total_weight(holdings[static_cast<std::size_t>(s)]);
-        faults->stats().degraded = true;
-      }
+    // Lemma 4: drop the unrecoverable holdings from the guarantee.  A
+    // shipment can be missing without an injector too (real transport
+    // failure), so the write-off goes through the simulator's fault sink.
+    for (int s : miss) {
+      sim.fault_sink().lost_weight +=
+          total_weight(holdings[static_cast<std::size_t>(s)]);
+      sim.fault_sink().degraded = true;
     }
 
     // New holdings = everything received this stage, in sender order.

@@ -22,8 +22,6 @@ struct MultiRoundOptions {
   double eps = 0.25;
   int rounds = 2;  ///< R ≥ 1
   OracleOptions oracle;
-  ThreadPool* pool = nullptr;  ///< runs the per-machine map phases (not owned)
-  FaultInjector* faults = nullptr;  ///< optional fault injection (not owned)
 };
 
 struct MultiRoundResult {
@@ -35,6 +33,7 @@ struct MultiRoundResult {
 
 [[nodiscard]] MultiRoundResult multi_round_coreset(
     const std::vector<WeightedSet>& parts, int k, std::int64_t z,
-    const Metric& metric, const MultiRoundOptions& opt = {});
+    const Metric& metric, const ExecContext& ctx = {},
+    const MultiRoundOptions& opt = {});
 
 }  // namespace kc::mpc

@@ -11,7 +11,7 @@ namespace kc::mpc {
 
 OneRoundResult one_round_coreset(const std::vector<WeightedSet>& parts, int k,
                                  std::int64_t z, std::size_t n_total,
-                                 const Metric& metric,
+                                 const Metric& metric, const ExecContext& ctx,
                                  const OneRoundOptions& opt) {
   KC_EXPECTS(!parts.empty());
   const int m = static_cast<int>(parts.size());
@@ -28,7 +28,7 @@ OneRoundResult one_round_coreset(const std::vector<WeightedSet>& parts, int k,
       z, static_cast<std::int64_t>(
              std::ceil(6.0 * static_cast<double>(z) / m + 3.0 * logn)));
 
-  Simulator sim(m, dim, opt.pool, opt.faults);
+  Simulator sim(m, dim, ctx);
   std::vector<MiniBallCovering> local(static_cast<std::size_t>(m));
 
   sim.round([&](int id, std::vector<Message>& /*inbox*/,

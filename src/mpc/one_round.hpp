@@ -21,8 +21,6 @@ namespace kc::mpc {
 struct OneRoundOptions {
   double eps = 0.5;
   OracleOptions oracle;
-  ThreadPool* pool = nullptr;  ///< runs the per-machine map phase (not owned)
-  FaultInjector* faults = nullptr;  ///< optional fault injection (not owned)
 };
 
 struct OneRoundResult {
@@ -40,6 +38,7 @@ struct OneRoundResult {
 /// 3·log n term).
 [[nodiscard]] OneRoundResult one_round_coreset(
     const std::vector<WeightedSet>& parts, int k, std::int64_t z,
-    std::size_t n_total, const Metric& metric, const OneRoundOptions& opt = {});
+    std::size_t n_total, const Metric& metric, const ExecContext& ctx = {},
+    const OneRoundOptions& opt = {});
 
 }  // namespace kc::mpc

@@ -1,6 +1,7 @@
 #include "mpc/simulator.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.hpp"
 #include "util/timer.hpp"
@@ -18,17 +19,27 @@ std::size_t MpcStats::coordinator_words() const {
   return peak_words.empty() ? 0 : peak_words[0];
 }
 
-Simulator::Simulator(int m, int dim, ThreadPool* pool, FaultInjector* faults)
+Simulator::Simulator(int m, int dim, const ExecContext& ctx)
     : m_(m),
       dim_(dim),
-      pool_(pool),
-      faults_(faults != nullptr && faults->enabled() ? faults : nullptr) {
+      pool_(ctx.pool),
+      faults_(ctx.faults != nullptr && ctx.faults->enabled() ? ctx.faults
+                                                             : nullptr) {
   KC_EXPECTS(m >= 1);
   KC_EXPECTS(dim >= 1);
+  if (ctx.transport != nullptr) {
+    transport_ = ctx.transport;
+  } else {
+    owned_transport_ = make_local_transport();
+    transport_ = owned_transport_.get();
+  }
+  // No-op when the pipeline already opened the endpoints (the process
+  // backend forks its workers before any thread pool exists).
+  transport_->open(m, dim);
   inboxes_.resize(static_cast<std::size_t>(m));
   stats_.machines = m;
   stats_.dim = dim;
-  stats_.threads = pool ? pool->num_threads() : 1;
+  stats_.threads = pool_ ? pool_->num_threads() : 1;
   stats_.peak_words.assign(static_cast<std::size_t>(m), 0);
 }
 
@@ -45,7 +56,9 @@ std::vector<Message>& Simulator::inbox(int id) {
 
 MpcStats Simulator::stats() const {
   MpcStats out = stats_;
-  if (faults_ != nullptr) out.faults = faults_->stats();
+  out.faults = faults_ != nullptr ? faults_->stats() : real_faults_;
+  out.backend = transport_->backend();
+  out.wire = transport_->wire();
   return out;
 }
 
@@ -110,13 +123,17 @@ void Simulator::round(const RoundFn& fn) {
   }
   stats_.map_ms += map_timer.millis();
 
-  // Route messages; this is the communication phase of the round.  Under
-  // fault injection each delivery may take several attempts: every attempt
-  // burns its bandwidth (the message was on the wire and lost), re-sends
-  // past the first are accounted as such, and a message dropped on every
-  // attempt is gone for good — the *semantic* consequence (lost weight,
-  // degraded bound) is judged by the algorithm-layer recovery, which knows
-  // what the message meant.
+  // Route messages through the transport; this is the communication phase
+  // of the round.  Under fault injection each delivery may take several
+  // attempts: every attempt burns its bandwidth — and is physically
+  // transmitted, so measured wire bytes track the words accounting — re-
+  // sends past the first are accounted as such, and a message dropped on
+  // every attempt is gone for good; the *semantic* consequence (lost
+  // weight, degraded bound) is judged by the algorithm-layer recovery,
+  // which knows what the message meant.  Real transport failures land in
+  // `fault_sink()` and, when retry budget exists, consume it like
+  // injected drops.
+  Timer route_timer;
   std::size_t round_words = 0;
   for (auto& box : inboxes_) box.clear();
   for (int from = 0; from < m_; ++from) {
@@ -129,53 +146,83 @@ void Simulator::round(const RoundFn& fn) {
         inboxes_[static_cast<std::size_t>(msg.to)].push_back(std::move(msg));
         continue;
       }
+      const int to = msg.to;
+      const std::size_t wire_words = msg.words(dim_);
       if (faults_ == nullptr) {
-        round_words += msg.words(dim_);
-        inboxes_[static_cast<std::size_t>(msg.to)].push_back(std::move(msg));
+        round_words += wire_words;
+        Delivery d = transport_->deliver(std::move(msg));
+        if (d.status == DeliveryStatus::Delivered) {
+          inboxes_[static_cast<std::size_t>(to)].push_back(std::move(d.msg));
+        } else {
+          ++real_faults_.messages_lost;
+          real_faults_.lost_words += wire_words;
+        }
         continue;
       }
       auto& fs = faults_->stats();
       const FaultPlan& plan = faults_->plan();
       const FaultConfig& fc = faults_->config();
       const int budget = fc.effective_retry_budget();
-      const std::size_t wire = msg.words(dim_);
       bool delivered = false;
       for (int attempt = 0; attempt <= budget; ++attempt) {
-        round_words += wire;
+        round_words += wire_words;
         if (attempt > 0) {
           ++fs.resends;
-          fs.resent_words += wire;
+          fs.resent_words += wire_words;
           fs.backoff_ms += fc.backoff.delay_ms(attempt);
         }
-        if (plan.drop(round_idx, from, msg.to, attempt)) {
-          ++fs.drops;
-          continue;
-        }
-        if (msg.payload.full_size() > 0 &&
-            plan.truncate(round_idx, from, msg.to, attempt)) {
+        const bool inj_drop = plan.drop(round_idx, from, to, attempt);
+        bool inj_trunc_retry = false;
+        bool inj_trunc_final = false;
+        std::size_t keep = 0;
+        if (!inj_drop && msg.payload.full_size() > 0 &&
+            plan.truncate(round_idx, from, to, attempt)) {
           ++fs.truncations;
           // A truncated transfer fails its checksum and is retried like a
           // drop — except on the final attempt, where the surviving prefix
           // is delivered (partial data beats none; the receiver accounts
           // the cut weight and flags degradation).
-          if (attempt < budget) continue;
-          const std::size_t keep = static_cast<std::size_t>(
-              plan.truncate_keep_fraction(round_idx, from, msg.to) *
-              static_cast<double>(msg.payload.full_size()));
-          msg.payload.truncate_to(keep);
-          fs.lost_words += wire - msg.words(dim_);
+          if (attempt < budget) {
+            inj_trunc_retry = true;
+          } else {
+            inj_trunc_final = true;
+            keep = static_cast<std::size_t>(
+                plan.truncate_keep_fraction(round_idx, from, to) *
+                static_cast<double>(msg.payload.full_size()));
+          }
         }
+        // The attempt hits the physical wire regardless of the plan's
+        // verdict — injected drops/truncations model transfers that failed
+        // *after* burning their bandwidth.
+        Delivery d = transport_->deliver(Message(msg));
+        if (inj_drop) {
+          ++fs.drops;
+          continue;
+        }
+        if (inj_trunc_retry) continue;
+        if (d.status != DeliveryStatus::Delivered) {
+          // Real failure on an attempt the plan would have delivered: a
+          // lost endpoint cannot come back, so stop burning the budget;
+          // corrupt frames and timeouts retry like drops.
+          if (d.status == DeliveryStatus::WorkerLost) break;
+          continue;
+        }
+        if (inj_trunc_final) {
+          d.msg.payload.truncate_to(keep);
+          fs.lost_words += wire_words - d.msg.words(dim_);
+        }
+        inboxes_[static_cast<std::size_t>(to)].push_back(std::move(d.msg));
         delivered = true;
         break;
       }
-      if (delivered) {
-        inboxes_[static_cast<std::size_t>(msg.to)].push_back(std::move(msg));
-      } else {
+      if (!delivered) {
         ++fs.messages_lost;
-        fs.lost_words += wire;
+        fs.lost_words += wire_words;
       }
     }
   }
+  transport_->end_round();
+  stats_.route_ms += route_timer.millis();
   stats_.comm_words_per_round.push_back(round_words);
   stats_.total_comm_words += round_words;
   ++stats_.rounds;

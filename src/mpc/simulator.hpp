@@ -6,7 +6,8 @@
 // words.  The design mirrors MPI's message-passing discipline: a round is
 // local computation followed by message exchange; messages carry either
 // scalar vectors (the V_i radius tables of Algorithm 2) or weighted point
-// sets (coreset shipments, packed once into a SoA `PointPayload`).
+// sets (coreset shipments, packed once into a SoA `PointPayload` — see
+// mpc/message.hpp).
 //
 // What we account, following the model rather than process RSS:
 //  * one coordinate = 1 word, so a weighted point in R^d = d+1 words;
@@ -25,6 +26,15 @@
 // no pool (or a single-thread pool) the machines run sequentially with
 // bit-identical results.
 //
+// Message routing goes through a `Transport` (mpc/transport.hpp): the
+// default `LocalTransport` is the historical in-process hand-off, while
+// `ProcessTransport` ships every non-self message through a forked worker
+// process as a checksummed wire frame and measures real bytes next to the
+// model-predicted words.  Real transport failures (worker exit, EOF,
+// timeout) land in the same `FaultStats` as injected faults — with no
+// injector attached they accumulate in a simulator-owned sink — so the
+// algorithm-layer recovery treats both alike.
+//
 // Fault model (mpc/faults.hpp): an optional `FaultInjector` adds machine
 // crashes, message drops/truncations, and stragglers.  All fault decisions
 // are resolved in the sequential sections of `round` (never in the
@@ -41,87 +51,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
-#include "geometry/point.hpp"
-#include "geometry/point_buffer.hpp"
+#include "mpc/context.hpp"
 #include "mpc/faults.hpp"
+#include "mpc/message.hpp"
+#include "mpc/transport.hpp"
 #include "util/parallel.hpp"
 
 namespace kc::mpc {
-
-/// Weighted-point message payload, packed once at send time into the
-/// canonical SoA layout (coordinates columns + a weight column).  Re-sends
-/// under fault retries ship the same packing — no per-attempt re-pack —
-/// and transport truncation is a prefix cut: `size()` (and therefore
-/// `Message::words`) accounts only the rows that were actually delivered.
-class PointPayload {
- public:
-  PointPayload() = default;
-
-  explicit PointPayload(const WeightedSet& pts) {
-    if (pts.empty()) return;
-    coords_ = kernels::PointBuffer(pts);
-    weights_.reserve(pts.size());
-    for (const auto& wp : pts) weights_.push_back(wp.w);
-    shipped_ = pts.size();
-  }
-
-  /// Rows delivered (≤ full_size() after truncation).
-  [[nodiscard]] std::size_t size() const noexcept { return shipped_; }
-  /// Rows packed at send time.
-  [[nodiscard]] std::size_t full_size() const noexcept {
-    return weights_.size();
-  }
-  [[nodiscard]] bool empty() const noexcept { return shipped_ == 0; }
-  [[nodiscard]] bool truncated() const noexcept {
-    return shipped_ < weights_.size();
-  }
-
-  /// Transport truncation: keep only the first `keep` rows.
-  void truncate_to(std::size_t keep) noexcept {
-    if (keep < shipped_) shipped_ = keep;
-  }
-
-  /// Weight carried by the rows cut off by truncation.
-  [[nodiscard]] std::int64_t cut_weight() const noexcept {
-    std::int64_t w = 0;
-    for (std::size_t i = shipped_; i < weights_.size(); ++i) w += weights_[i];
-    return w;
-  }
-
-  /// Delivered rows unpacked to the AoS boundary type.
-  [[nodiscard]] WeightedSet unpack() const {
-    WeightedSet out;
-    append_to(out);
-    return out;
-  }
-
-  void append_to(WeightedSet& out) const {
-    out.reserve(out.size() + shipped_);
-    for (std::size_t i = 0; i < shipped_; ++i)
-      out.push_back({coords_.point(i), weights_[i]});
-  }
-
- private:
-  kernels::PointBuffer coords_;
-  std::vector<std::int64_t> weights_;
-  std::size_t shipped_ = 0;
-};
-
-/// A message between machines.  Either payload may be empty.
-struct Message {
-  int from = 0;
-  int to = 0;
-  std::vector<double> scalars;
-  PointPayload payload;
-
-  /// Words on the wire: scalars + (dim+1) per *delivered* weighted point
-  /// (a truncated payload is accounted at its truncated size).
-  [[nodiscard]] std::size_t words(int dim) const noexcept {
-    return scalars.size() + payload.size() * static_cast<std::size_t>(dim + 1);
-  }
-};
 
 struct MpcStats {
   int machines = 0;
@@ -129,10 +68,13 @@ struct MpcStats {
   int rounds = 0;  ///< communication rounds executed
   int threads = 1;     ///< pool threads the map phases ran on
   double map_ms = 0.0; ///< total wall time of the map phases (all rounds)
+  double route_ms = 0.0;  ///< total wall time of the routing phases
   std::vector<std::size_t> peak_words;  ///< per machine
   std::vector<std::size_t> comm_words_per_round;
   std::size_t total_comm_words = 0;
-  FaultStats faults;  ///< all-zero when no injector was attached
+  FaultStats faults;  ///< injected + real failures; all-zero when none
+  Backend backend = Backend::Local;  ///< transport the messages rode
+  WireStats wire;  ///< measured transport bytes; all-zero on local
 
   /// Peak storage over worker machines (ids ≥ 1).
   [[nodiscard]] std::size_t max_worker_words() const;
@@ -143,18 +85,27 @@ struct MpcStats {
 class Simulator {
  public:
   /// m ≥ 1 machines in dimension dim.  Machine 0 is the coordinator.
-  /// `pool` (optional, not owned) runs the per-machine map phase of each
-  /// round concurrently; it must outlive the simulator.  `faults`
-  /// (optional, not owned) injects the deterministic fault schedule; an
-  /// inactive injector is equivalent to none.
-  explicit Simulator(int m, int dim, ThreadPool* pool = nullptr,
-                     FaultInjector* faults = nullptr);
+  /// The context supplies the (optional, non-owning) environment:
+  /// `ctx.pool` runs the per-machine map phase of each round concurrently;
+  /// `ctx.faults` injects the deterministic fault schedule (an inactive
+  /// injector is equivalent to none); `ctx.transport` routes messages
+  /// (nullptr = a simulator-owned `LocalTransport`).  Everything the
+  /// context points at must outlive the simulator.
+  explicit Simulator(int m, int dim, const ExecContext& ctx = {});
 
   [[nodiscard]] int machines() const noexcept { return m_; }
   [[nodiscard]] int dim() const noexcept { return dim_; }
 
   /// The attached injector when it is active, else nullptr.
   [[nodiscard]] FaultInjector* faults() const noexcept { return faults_; }
+
+  /// Where fault accounting lands: the active injector's stats, or the
+  /// simulator-owned sink that collects *real* transport failures when no
+  /// injector is attached.  Algorithm-layer recovery writes loss accounting
+  /// (lost weight, degradation) here so it is honest on both backends.
+  [[nodiscard]] FaultStats& fault_sink() noexcept {
+    return faults_ != nullptr ? faults_->stats() : real_faults_;
+  }
 
   /// False once the machine crashed past its retry budget.
   [[nodiscard]] bool alive(int id) const noexcept {
@@ -175,12 +126,14 @@ class Simulator {
   /// machine (concurrently on the pool when one was supplied — `fn` may
   /// freely touch per-machine state indexed by `id`, but nothing shared
   /// across ids), then outgoing messages are routed in machine-index order
-  /// and become the next round's inboxes.  Communication volume is
-  /// accounted per round; the map phase's wall time accumulates in
-  /// `stats().map_ms`.  Under an active injector, crashed machines are
+  /// through the transport and become the next round's inboxes.
+  /// Communication volume is accounted per round; the map phase's wall
+  /// time accumulates in `stats().map_ms`, the routing phase's in
+  /// `stats().route_ms`.  Under an active injector, crashed machines are
   /// deterministically re-executed up to the retry budget (then skipped
   /// for good), messages are dropped/truncated/re-sent per the plan, and
-  /// every attempt's bandwidth is accounted.
+  /// every attempt's bandwidth is accounted — and physically transmitted,
+  /// so the wire-byte measurement matches the words accounting.
   using RoundFn =
       std::function<void(int id, std::vector<Message>& inbox,
                          std::vector<Message>& outbox)>;
@@ -189,8 +142,8 @@ class Simulator {
   /// Inbox currently waiting at machine `id` (delivered by the last round).
   [[nodiscard]] std::vector<Message>& inbox(int id);
 
-  /// Snapshot of the measured quantities, with the injector's fault
-  /// accounting folded in.
+  /// Snapshot of the measured quantities, with fault and wire accounting
+  /// folded in.
   [[nodiscard]] MpcStats stats() const;
 
  private:
@@ -198,6 +151,9 @@ class Simulator {
   int dim_;
   ThreadPool* pool_;          ///< not owned; nullptr = sequential map phase
   FaultInjector* faults_;     ///< not owned; nullptr = no fault injection
+  std::unique_ptr<Transport> owned_transport_;  ///< fallback LocalTransport
+  Transport* transport_;      ///< never null after construction
+  FaultStats real_faults_;    ///< real-failure sink when no injector
   std::vector<std::vector<Message>> inboxes_;
   MpcStats stats_;
 };

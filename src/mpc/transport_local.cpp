@@ -1,0 +1,66 @@
+#include <utility>
+
+#include "mpc/transport.hpp"
+#include "util/check.hpp"
+
+namespace kc::mpc {
+
+const char* to_string(Backend b) noexcept {
+  switch (b) {
+    case Backend::Local:
+      return "local";
+    case Backend::Process:
+      return "process";
+  }
+  return "?";
+}
+
+bool parse_backend(const std::string& s, Backend* out) noexcept {
+  if (s == "local") {
+    *out = Backend::Local;
+    return true;
+  }
+  if (s == "process") {
+    *out = Backend::Process;
+    return true;
+  }
+  return false;
+}
+
+const char* to_string(DeliveryStatus s) noexcept {
+  switch (s) {
+    case DeliveryStatus::Delivered:
+      return "delivered";
+    case DeliveryStatus::WorkerLost:
+      return "worker-lost";
+    case DeliveryStatus::Corrupt:
+      return "corrupt";
+    case DeliveryStatus::Timeout:
+      return "timeout";
+  }
+  return "?";
+}
+
+void LocalTransport::open(int machines, int dim) {
+  KC_EXPECTS(machines >= 1 && dim >= 1);
+}
+
+Delivery LocalTransport::deliver(Message msg) {
+  // The in-process hand-off: the very object the sender built lands in
+  // the inbox, nothing crosses a boundary, no wire bytes accrue.
+  Delivery d;
+  d.status = DeliveryStatus::Delivered;
+  d.msg = std::move(msg);
+  return d;
+}
+
+std::unique_ptr<Transport> make_local_transport() {
+  return std::make_unique<LocalTransport>();
+}
+
+std::unique_ptr<Transport> make_transport(Backend b) {
+  if (b == Backend::Process) return make_process_transport();
+  return make_local_transport();
+}
+
+}  // namespace kc::mpc

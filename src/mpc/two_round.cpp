@@ -73,6 +73,7 @@ double compute_r_hat(const std::vector<std::vector<double>>& tables,
 
 TwoRoundResult two_round_coreset(const std::vector<WeightedSet>& parts, int k,
                                  std::int64_t z, const Metric& metric,
+                                 const ExecContext& ctx,
                                  const TwoRoundOptions& opt) {
   KC_EXPECTS(!parts.empty());
   KC_EXPECTS(z >= 0);
@@ -84,8 +85,7 @@ TwoRoundResult two_round_coreset(const std::vector<WeightedSet>& parts, int k,
       break;
     }
 
-  Simulator sim(m, dim, opt.pool, opt.faults);
-  FaultInjector* faults = sim.faults();
+  Simulator sim(m, dim, ctx);
   const int levels = guess_levels(z) + 1;  // j = 0..J inclusive
 
   // Per-machine state living across rounds.
@@ -98,9 +98,7 @@ TwoRoundResult two_round_coreset(const std::vector<WeightedSet>& parts, int k,
 
   // ---- Round 1: compute V_i and broadcast. ----------------------------
   const int losses_before =
-      faults != nullptr
-          ? faults->stats().messages_lost + faults->stats().machines_lost
-          : 0;
+      sim.fault_sink().messages_lost + sim.fault_sink().machines_lost;
   sim.round([&](int id, std::vector<Message>& /*inbox*/,
                 std::vector<Message>& outbox) {
     const auto uid = static_cast<std::size_t>(id);
@@ -132,10 +130,9 @@ TwoRoundResult two_round_coreset(const std::vector<WeightedSet>& parts, int k,
   // machines no longer share one table set: each still computes a valid
   // covering from what it holds, but the Σ ≤ 2z size certificate of
   // Theorem 10 is gone — the run must report the degraded bound.
-  if (faults != nullptr &&
-      faults->stats().messages_lost + faults->stats().machines_lost >
-          losses_before)
-    faults->stats().degraded = true;
+  if (sim.fault_sink().messages_lost + sim.fault_sink().machines_lost >
+      losses_before)
+    sim.fault_sink().degraded = true;
 
   // ---- Round 2: agree on r̂, build local coverings, ship them. --------
   sim.round([&](int id, std::vector<Message>& inbox,

@@ -32,9 +32,7 @@ namespace kc::mpc {
 
 struct TwoRoundOptions {
   double eps = 0.5;
-  OracleOptions oracle;   ///< radius oracle used for the V_i tables
-  ThreadPool* pool = nullptr;  ///< runs the per-machine map phases (not owned)
-  FaultInjector* faults = nullptr;  ///< optional fault injection (not owned)
+  OracleOptions oracle;  ///< radius oracle used for the V_i tables
 };
 
 struct TwoRoundResult {
@@ -48,9 +46,13 @@ struct TwoRoundResult {
 };
 
 /// Runs Algorithm 2 on a pre-partitioned input.  parts.size() = number of
-/// machines; machine 0 is the coordinator and also holds parts[0].
+/// machines; machine 0 is the coordinator and also holds parts[0].  The
+/// context supplies the execution environment (pool, fault injector,
+/// transport — see mpc/context.hpp); a default-constructed context means
+/// sequential, fault-free, in-process.
 [[nodiscard]] TwoRoundResult two_round_coreset(
     const std::vector<WeightedSet>& parts, int k, std::int64_t z,
-    const Metric& metric, const TwoRoundOptions& opt = {});
+    const Metric& metric, const ExecContext& ctx = {},
+    const TwoRoundOptions& opt = {});
 
 }  // namespace kc::mpc

@@ -52,7 +52,7 @@ TEST(EndToEnd, AllPipelinesProduceUsableCoresets) {
     mpc::TwoRoundOptions opt;
     opt.eps = eps;
     pipes.push_back(
-        {"mpc-2round", mpc::two_round_coreset(parts, k, z, kL2, opt).coreset});
+        {"mpc-2round", mpc::two_round_coreset(parts, k, z, kL2, {}, opt).coreset});
   }
   // MPC one-round, random partition.
   {
@@ -62,7 +62,7 @@ TEST(EndToEnd, AllPipelinesProduceUsableCoresets) {
     opt.eps = eps;
     pipes.push_back(
         {"mpc-1round",
-         mpc::one_round_coreset(parts, k, z, inst.points.size(), kL2, opt)
+         mpc::one_round_coreset(parts, k, z, inst.points.size(), kL2, {}, opt)
              .coreset});
   }
   // MPC R-round.
@@ -74,7 +74,7 @@ TEST(EndToEnd, AllPipelinesProduceUsableCoresets) {
     opt.rounds = 2;
     pipes.push_back(
         {"mpc-rround",
-         mpc::multi_round_coreset(parts, k, z, kL2, opt).coreset});
+         mpc::multi_round_coreset(parts, k, z, kL2, {}, opt).coreset});
   }
   // Insertion-only stream.
   {
@@ -154,7 +154,7 @@ TEST(EndToEnd, MpcCoresetFeedsStreamStage) {
       partition_points(inst.points, 5, mpc::PartitionKind::RoundRobin, 0);
   mpc::TwoRoundOptions opt;
   opt.eps = 0.5;
-  const auto res = mpc::two_round_coreset(parts, 2, 4, kL2, opt);
+  const auto res = mpc::two_round_coreset(parts, 2, 4, kL2, {}, opt);
 
   stream::InsertionOnlyStream s(2, 4, 1.0, 2, kL2);
   for (const auto& wp : res.coreset) s.insert(wp.p);

@@ -132,7 +132,7 @@ TEST(Simulator, CertainCrashKillsWorkersAfterTheBudget) {
   fc.crash_prob = 1.0;
   fc.retry_budget = 2;
   FaultInjector faults(fc);
-  Simulator sim(4, 2, nullptr, &faults);
+  Simulator sim(4, 2, {nullptr, nullptr, &faults, nullptr});
   int ran = 0;
   sim.round([&](int id, std::vector<Message>&, std::vector<Message>&) {
     ++ran;
@@ -156,7 +156,7 @@ TEST(Simulator, CertainDropLosesTheMessageButTerminates) {
   fc.drop_prob = 1.0;
   fc.retry_budget = 2;
   FaultInjector faults(fc);
-  Simulator sim(2, 2, nullptr, &faults);
+  Simulator sim(2, 2, {nullptr, nullptr, &faults, nullptr});
   sim.round([&](int id, std::vector<Message>&, std::vector<Message>& out) {
     if (id == 1) {
       Message m;
@@ -178,7 +178,7 @@ TEST(Simulator, CertainDropLosesTheMessageButTerminates) {
 TEST(Simulator, InactiveInjectorIsNoInjector) {
   FaultConfig fc;  // all probabilities zero
   FaultInjector faults(fc);
-  Simulator sim(3, 2, nullptr, &faults);
+  Simulator sim(3, 2, {nullptr, nullptr, &faults, nullptr});
   EXPECT_EQ(sim.faults(), nullptr);  // nullified: pre-fault code paths
   sim.round([&](int id, std::vector<Message>&, std::vector<Message>& out) {
     if (id != 0) {

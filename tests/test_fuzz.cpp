@@ -171,8 +171,8 @@ TEST(Fuzz, TwoRoundDeterministicAcrossRuns) {
       inst.points, 7, mpc::PartitionKind::EvenSorted, 0);
   mpc::TwoRoundOptions opt;
   opt.eps = 0.5;
-  const auto a = mpc::two_round_coreset(parts, 3, 10, kL2, opt);
-  const auto b = mpc::two_round_coreset(parts, 3, 10, kL2, opt);
+  const auto a = mpc::two_round_coreset(parts, 3, 10, kL2, {}, opt);
+  const auto b = mpc::two_round_coreset(parts, 3, 10, kL2, {}, opt);
   ASSERT_EQ(a.coreset.size(), b.coreset.size());
   for (std::size_t i = 0; i < a.coreset.size(); ++i) {
     EXPECT_EQ(a.coreset[i].p, b.coreset[i].p);

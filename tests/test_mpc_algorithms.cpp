@@ -49,7 +49,7 @@ TEST(TwoRound, AdversarialPartitionValid) {
       partition_points(inst.points, 8, PartitionKind::EvenSorted, 0);
   TwoRoundOptions opt;
   opt.eps = 0.5;
-  const auto res = two_round_coreset(parts, 3, 12, kL2, opt);
+  const auto res = two_round_coreset(parts, 3, 12, kL2, {}, opt);
 
   EXPECT_EQ(res.stats.rounds, 2);
   validate_coreset(inst, res.coreset, res.eps_effective, 12);
@@ -79,7 +79,7 @@ TEST(TwoRound, MergedUnionIsMiniBallCovering) {
       partition_points(inst.points, 5, PartitionKind::EvenSorted, 0);
   TwoRoundOptions opt;
   opt.eps = 0.5;
-  const auto res = two_round_coreset(parts, 3, 8, kL2, opt);
+  const auto res = two_round_coreset(parts, 3, 8, kL2, {}, opt);
   for (const auto& wp : inst.points) {
     double best = 1e300;
     for (const auto& rep : res.merged)
@@ -100,7 +100,7 @@ TEST(TwoRound, WorkerStorageExcludesZ) {
       partition_points(inst.points, m, PartitionKind::EvenSorted, 0);
   TwoRoundOptions opt;
   opt.eps = 1.0;
-  const auto res = two_round_coreset(parts, 2, z, kL2, opt);
+  const auto res = two_round_coreset(parts, 2, z, kL2, {}, opt);
   std::size_t total_local = 0;
   for (auto s : res.local_coreset_sizes) total_local += s;
   // Generous structural bound: the z-dependence must be additive (2z over
@@ -118,7 +118,7 @@ TEST(OneRound, RandomPartitionValid) {
   OneRoundOptions opt;
   opt.eps = 0.5;
   const auto res =
-      one_round_coreset(parts, 3, 12, inst.points.size(), kL2, opt);
+      one_round_coreset(parts, 3, 12, inst.points.size(), kL2, {}, opt);
   EXPECT_EQ(res.stats.rounds, 1);
   validate_coreset(inst, res.coreset, res.eps_effective, 12);
   EXPECT_LE(res.z_local, 12);
@@ -140,7 +140,7 @@ TEST(MultiRound, ErrorComposesAcrossRounds) {
   MultiRoundOptions opt;
   opt.eps = 0.25;
   opt.rounds = 2;
-  const auto res = multi_round_coreset(parts, 3, 12, kL2, opt);
+  const auto res = multi_round_coreset(parts, 3, 12, kL2, {}, opt);
   EXPECT_EQ(res.stats.rounds, 2);
   EXPECT_NEAR(res.eps_effective, std::pow(1.25, 2) - 1.0, 1e-12);
   validate_coreset(inst, res.coreset, res.eps_effective, 12);
@@ -154,8 +154,8 @@ TEST(MultiRound, MoreRoundsLessStorage) {
   r1.eps = r3.eps = 0.5;
   r1.rounds = 1;
   r3.rounds = 3;  // β shrinks: 16 → ⌈16^{1/3}⌉ = 3
-  const auto res1 = multi_round_coreset(parts, 2, 8, kL2, r1);
-  const auto res3 = multi_round_coreset(parts, 2, 8, kL2, r3);
+  const auto res1 = multi_round_coreset(parts, 2, 8, kL2, {}, r1);
+  const auto res3 = multi_round_coreset(parts, 2, 8, kL2, {}, r3);
   validate_coreset(inst, res1.coreset, res1.eps_effective, 8);
   validate_coreset(inst, res3.coreset, res3.eps_effective, 8);
   // With R=1 the coordinator receives all m local coresets at once; with
@@ -170,7 +170,7 @@ TEST(Ceccarello, ValidButZHeavy) {
       partition_points(inst.points, 8, PartitionKind::EvenSorted, 0);
   CeccarelloOptions copt;
   copt.eps = 1.0;
-  const auto res = ceccarello_coreset(parts, 2, z, kL2, copt);
+  const auto res = ceccarello_coreset(parts, 2, z, kL2, {}, copt);
   validate_coreset(inst, res.coreset, 3.0 * copt.eps, z);
   // The per-machine budget must carry the multiplicative z term.
   EXPECT_GE(res.tau, (2 + z) * 16);  // (k+z)·⌈4/ε⌉^d, d=2, ε=1 → 16
@@ -182,7 +182,7 @@ TEST(Guha, LocalZBaselineValid) {
       partition_points(inst.points, 6, PartitionKind::EvenSorted, 0);
   GuhaOptions gopt;
   gopt.eps = 0.5;
-  const auto res = guha_local_z_coreset(parts, 3, 10, kL2, gopt);
+  const auto res = guha_local_z_coreset(parts, 3, 10, kL2, {}, gopt);
   validate_coreset(inst, res.coreset, 3.0 * gopt.eps, 10);
 }
 
@@ -221,8 +221,8 @@ TEST(AblationShape, TwoRoundBeatsGuhaOnOutlierVolume) {
   topt.eps = 0.5;
   GuhaOptions gopt;
   gopt.eps = 0.5;
-  const auto ours = two_round_coreset(parts, 2, z, kL2, topt);
-  const auto guha = guha_local_z_coreset(parts, 2, z, kL2, gopt);
+  const auto ours = two_round_coreset(parts, 2, z, kL2, {}, topt);
+  const auto guha = guha_local_z_coreset(parts, 2, z, kL2, {}, gopt);
 
   EXPECT_LE(ours.sum_outlier_guesses, 2 * z);
   EXPECT_LT(ours.merged.size(), guha.merged.size());
@@ -234,7 +234,7 @@ TEST(EndToEnd, SolveOnTwoRoundCoresetMatchesDirect) {
       partition_points(inst.points, 4, PartitionKind::RoundRobin, 0);
   TwoRoundOptions opt;
   opt.eps = 0.25;
-  const auto res = two_round_coreset(parts, 3, 6, kL2, opt);
+  const auto res = two_round_coreset(parts, 3, 6, kL2, {}, opt);
   const PipelineQuality q =
       compare_on_full(inst.points, res.coreset, 3, 6, kL2);
   EXPECT_LE(q.ratio, 3.0 * (1.0 + res.eps_effective) + 1e-9);

@@ -111,7 +111,7 @@ TEST_P(MultiRoundSweep, BetaAndValidityAtEveryGridPoint) {
   mpc::MultiRoundOptions opt;
   opt.eps = 0.25;
   opt.rounds = p.rounds;
-  const auto res = mpc::multi_round_coreset(parts, 2, 8, kL2, opt);
+  const auto res = mpc::multi_round_coreset(parts, 2, 8, kL2, {}, opt);
 
   // β = max(2, ⌈m^{1/R}⌉) and after R rounds one machine remains.
   EXPECT_EQ(res.beta,

@@ -70,7 +70,7 @@ TEST_P(NormSweep, TwoRoundHoldsInEveryNorm) {
       inst.points, 4, mpc::PartitionKind::EvenSorted, 0);
   mpc::TwoRoundOptions opt;
   opt.eps = 0.5;
-  const auto res = mpc::two_round_coreset(parts, 2, 6, metric, opt);
+  const auto res = mpc::two_round_coreset(parts, 2, 6, metric, {}, opt);
   EXPECT_EQ(total_weight(res.coreset),
             static_cast<std::int64_t>(inst.points.size()));
   EXPECT_LE(res.sum_outlier_guesses, 12);

@@ -21,6 +21,11 @@ Compares a candidate JSONL file of ``engine_pipeline`` records (what
   below an absolute noise floor; ``--ignore-time`` skips this check (used
   by the thread-determinism step, which compares two runs of the same
   build at different ``--threads``).
+* with ``--wire``, every candidate record of model ``mpc`` must carry a
+  measured ``wire_ratio`` (bytes on the wire / 8*comm_words) in
+  (0, --max-wire-ratio]; used by the process-backend CI leg, where the
+  candidate ran under ``--backend process`` and the measured traffic must
+  track the model's words accounting within the framing budget.
 
 Usage:
     tools/check_bench.py CANDIDATE BASELINE [--tolerance 3.0] [--ignore-time]
@@ -293,6 +298,13 @@ def main():
                         help="allowed slowdown factor for timing columns")
     parser.add_argument("--ignore-time", action="store_true",
                         help="skip the timing check (determinism-only mode)")
+    parser.add_argument("--wire", action="store_true",
+                        help="require every candidate mpc record to report a "
+                             "measured wire_ratio in (0, --max-wire-ratio] — "
+                             "for process-backend runs")
+    parser.add_argument("--max-wire-ratio", type=float, default=2.0,
+                        help="--wire mode: allowed wire_bytes/(8*comm_words) "
+                             "ceiling (framing + checksum overhead budget)")
     parser.add_argument("--exact", action="store_true",
                         help="compare float columns exactly instead of within "
                              "the relative epsilon — for same-binary, "
@@ -358,6 +370,14 @@ def main():
                     f"{name}: {col} = {cand.get(col)!r}, "
                     f"baseline {base[col]!r} (beyond {FLOAT_REL_EPS:g} "
                     f"relative)")
+        if args.wire and cand.get("model") == "mpc":
+            ratio = float(cand.get("wire_ratio", 0.0))
+            if not 0.0 < ratio <= args.max_wire_ratio:
+                failures.append(
+                    f"{name}: wire_ratio = {ratio!r} outside "
+                    f"(0, {args.max_wire_ratio:g}] — measured transport "
+                    f"traffic does not track comm_words (or the run was "
+                    f"not on the process backend)")
         if args.ignore_time:
             continue
         for col in TIME_COLUMNS:

@@ -34,6 +34,14 @@ constexpr const char kUsage[] =
     "  --threads <N>                 thread-pool size for the MPC map phase\n"
     "                                and batch kernels; 0 = hardware [1]\n"
     "  --m/--partition/--rounds      MPC knobs [8/adversarial/2]\n"
+    "  --machines <m>                alias for --m\n"
+    "  --backend local|process       MPC message transport [local].\n"
+    "                                process forks one worker endpoint per\n"
+    "                                machine and ships every message as a\n"
+    "                                checksummed wire frame, reporting\n"
+    "                                measured wire_bytes/wire_ratio next to\n"
+    "                                the predicted comm_words; result\n"
+    "                                columns are byte-identical to local\n"
     "  --policy ours|ceccarello      insertion-only threshold policy [ours]\n"
     "  --window <W>                  sliding-window length (0 = whole stream)\n"
     "  --delta <D>                   dynamic universe side [256]\n"
@@ -62,7 +70,8 @@ constexpr const char kUsage[] =
 const std::vector<std::string>& known_flags() {
   static const std::vector<std::string> flags{
       "list",   "pipeline", "n",      "k",        "z",           "eps",
-      "dim",    "norm",     "seed",   "threads",  "m",           "partition",
+      "dim",    "norm",     "seed",   "threads",  "m",           "machines",
+      "backend", "partition",
       "rounds", "policy",   "window", "delta",    "det-recovery",
       "no-direct", "json",  "json-tag", "input",  "weighted",
       "fault-seed", "fault-crash", "fault-drop", "fault-truncate",
@@ -130,7 +139,24 @@ int main(int argc, char** argv) {
   cfg.norm = parse_norm(flags.get_string("norm", "l2"));
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   cfg.with_direct_solve = !flags.has("no-direct");
-  cfg.machines = static_cast<int>(flags.get_int("m", 8));
+  // --machines is the transport-era alias of --m; given both, --machines
+  // wins (it is the more explicit spelling).
+  cfg.machines = static_cast<int>(
+      flags.has("machines") ? flags.get_int("machines", 8)
+                            : flags.get_int("m", 8));
+  if (cfg.machines < 1) {
+    std::fprintf(stderr, "error: --machines must be >= 1 (got %d)\n",
+                 cfg.machines);
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  if (!mpc::parse_backend(flags.get_string("backend", "local"),
+                          &cfg.backend)) {
+    std::fprintf(stderr, "error: unknown --backend '%s' (local|process)\n",
+                 flags.get_string("backend", "local").c_str());
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
   cfg.partition = parse_partition(flags.get_string("partition", "adversarial"));
   cfg.partition_seed = cfg.seed;
   cfg.rounds = static_cast<int>(flags.get_int("rounds", 2));
@@ -168,6 +194,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: unknown pipeline '%s'; --list shows the "
                          "catalogue\n", which.c_str());
     return 1;
+  }
+
+  // The transport flags only mean something to the MPC model.  Asking for
+  // a forked-worker backend (or a machine count) on a named non-MPC
+  // pipeline is a misread of what the flag does, so it is an error rather
+  // than a silent no-op; `--pipeline all` stays allowed (the MPC rows use
+  // the backend, the rest ignore it).
+  if (which != "all" &&
+      (cfg.backend != mpc::Backend::Local || flags.has("machines"))) {
+    const auto pipeline = engine::registry().make(which);
+    if (pipeline->model() != "mpc") {
+      std::fprintf(stderr,
+                   "error: --backend/--machines apply to MPC pipelines only; "
+                   "'%s' is model '%s'\n",
+                   which.c_str(), pipeline->model().c_str());
+      std::fputs(kUsage, stderr);
+      return 2;
+    }
   }
 
   const bench::JsonLog json = bench::JsonLog::from_flags(flags);
