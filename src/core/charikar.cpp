@@ -206,6 +206,8 @@ CharikarResult charikar_oracle(const WeightedSet& pts, int k, std::int64_t z,
   // pts[0]; optk,z ≤ opt1,0 ≤ hi.
   double hi = 0.0;
   for (const auto& wp : pts) hi = std::max(hi, metric.dist(pts.front().p, wp.p));
+  // kc-lint-allow(numerics): hi is a max of exact distances; 0.0 means all
+  // points coincide and the ladder below would be empty.
   if (hi == 0.0) {
     // All points coincide.
     res.radius = 0.0;

@@ -28,6 +28,8 @@ GonzalezResult run_traversal(const WeightedSet& pts, int max_centers,
     res.delta.push_back(radius);
     next = rr.far_idx;
     if (stop_radius > 0.0 && radius <= stop_radius) break;
+    // kc-lint-allow(numerics): a max of exact distances is 0.0 only when
+    // every remaining point coincides with a selected center.
     if (radius == 0.0) break;  // all points coincide with selected centers
   }
   return res;

@@ -35,6 +35,14 @@ std::uint64_t combine_digests(const std::vector<std::uint64_t>& cols) {
   return fnv1a(cols.data(), cols.size() * sizeof(std::uint64_t));
 }
 
+/// Checked advisory madvise: the hint may be ignored (ENOMEM under
+/// pressure degrades to no readahead / no release), but EINVAL means a
+/// misaligned or out-of-range request — a caller bug, not a kernel mood.
+void advise(void* addr, std::size_t len, int advice) {
+  const int rc = ::posix_madvise(addr, len, advice);
+  KC_EXPECTS(rc != EINVAL);
+}
+
 }  // namespace
 
 std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t seed) {
@@ -205,8 +213,10 @@ void KcbWriter::finish() {
 
   if (::fsync(fd_) != 0)
     fail(path_, std::string("fsync failed: ") + std::strerror(errno));
-  ::close(fd_);
-  fd_ = -1;
+  const int close_rc = ::close(fd_);
+  fd_ = -1;  // even a failed close leaves the descriptor unusable
+  if (close_rc != 0)
+    fail(path_, std::string("close failed: ") + std::strerror(errno));
   finished_ = true;
 }
 
@@ -219,18 +229,22 @@ MappedKcb::MappedKcb(const std::string& path) {
   if (fd < 0) fail(path, std::string("cannot open: ") + std::strerror(errno));
   struct stat st {};
   if (::fstat(fd, &st) != 0) {
-    ::close(fd);
+    ::close(fd);  // kc-lint-allow(syscalls): best-effort cleanup before
+                  // the throw below reports the primary fstat failure
     fail(path, std::string("stat failed: ") + std::strerror(errno));
   }
   const auto file_len = static_cast<std::uint64_t>(st.st_size);
   if (file_len < sizeof(KcbHeader)) {
-    ::close(fd);
+    ::close(fd);  // kc-lint-allow(syscalls): best-effort cleanup before
+                  // the throw below reports the truncation
     fail(path, "truncated: shorter than the 64-byte header");
   }
 
   map_len_ = static_cast<std::size_t>(file_len);
   map_ = ::mmap(nullptr, map_len_, PROT_READ, MAP_PRIVATE, fd, 0);
-  ::close(fd);  // the mapping keeps its own reference
+  // kc-lint-allow(syscalls): read-only descriptor; the mapping keeps its
+  // own reference, so a close failure cannot affect the read path
+  ::close(fd);
   if (map_ == MAP_FAILED) {
     map_ = nullptr;
     fail(path, std::string("mmap failed: ") + std::strerror(errno));
@@ -282,8 +296,8 @@ MappedKcb::MappedKcb(const std::string& path) {
 
 #if defined(POSIX_MADV_SEQUENTIAL)
   // The chunked readers walk each column front to back; tell the kernel.
-  ::posix_madvise(const_cast<char*>(base + kKcbDataOffset),
-                  map_len_ - kKcbDataOffset, POSIX_MADV_SEQUENTIAL);
+  advise(const_cast<char*>(base + kKcbDataOffset),
+         map_len_ - kKcbDataOffset, POSIX_MADV_SEQUENTIAL);
 #endif
 }
 
@@ -323,8 +337,8 @@ void MappedKcb::prefetch(std::uint64_t offset, std::uint64_t count) const {
         (static_cast<std::uint64_t>(j) * header_.n + offset) * sizeof(double);
     const std::uint64_t end = begin + count * sizeof(double);
     const std::uint64_t aligned = begin / page * page;
-    ::posix_madvise(const_cast<char*>(base + aligned), end - aligned,
-                    POSIX_MADV_WILLNEED);
+    advise(const_cast<char*>(base + aligned), end - aligned,
+           POSIX_MADV_WILLNEED);
   }
 #else
   (void)offset;
@@ -348,11 +362,13 @@ void MappedKcb::release(std::uint64_t offset, std::uint64_t count) const {
     const std::uint64_t aligned_end = end / page * page;
     if (aligned_end <= aligned_begin) continue;
 #if defined(MADV_DONTNEED)
+    // kc-lint-allow(syscalls): MADV_DONTNEED is advisory page release; a
+    // refusal costs memory, never correctness (pages refault from the file)
     ::madvise(base + aligned_begin, aligned_end - aligned_begin,
               MADV_DONTNEED);
 #elif defined(POSIX_MADV_DONTNEED)
-    ::posix_madvise(base + aligned_begin, aligned_end - aligned_begin,
-                    POSIX_MADV_DONTNEED);
+    advise(base + aligned_begin, aligned_end - aligned_begin,
+           POSIX_MADV_DONTNEED);
 #endif
   }
 }

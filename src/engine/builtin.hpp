@@ -1,3 +1,7 @@
+// kc-lint-allow(layering): internal registration hooks for registry.cpp
+// and the per-model pipeline TUs, deliberately not exported via the
+// umbrella header.
+//
 // Internal: explicit registration hooks for the built-in pipelines, one
 // per computation model (offline_pipeline.cpp, mpc_pipelines.cpp,
 // stream_pipelines.cpp, dynamic_pipeline.cpp).  Called once by

@@ -84,7 +84,9 @@
 #include "mpc/one_round.hpp"
 #include "mpc/partition.hpp"
 #include "mpc/simulator.hpp"
+#include "mpc/transport.hpp"
 #include "mpc/two_round.hpp"
+#include "mpc/wire.hpp"
 
 // stream — insertion-only and sliding-window algorithms.
 #include "stream/insertion_only.hpp"

@@ -65,6 +65,8 @@ void InsertionOnlyStream::insert_weighted(const Point& p, std::int64_t w) {
   peak_ = std::max(peak_, reps_.size());
 
   // Bootstrap: first sensible lower bound once k+z+1 distinct points exist.
+  // kc-lint-allow(numerics): r_ == 0.0 is the exact not-yet-bootstrapped
+  // sentinel (set only by initialization, never by arithmetic).
   if (r_ == 0.0 &&
       reps_.size() >= static_cast<std::size_t>(k_) +
                           static_cast<std::size_t>(z_) + 1) {

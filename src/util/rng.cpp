@@ -14,6 +14,8 @@ double Rng::normal() noexcept {
     u = 2.0 * uniform01() - 1.0;
     v = 2.0 * uniform01() - 1.0;
     s = u * u + v * v;
+    // kc-lint-allow(numerics): Marsaglia rejection — s == 0.0 is the exact
+    // degenerate draw (log(0) below), not a tolerance question.
   } while (s >= 1.0 || s == 0.0);
   const double factor = std::sqrt(-2.0 * std::log(s) / s);
   spare_ = v * factor;

@@ -81,6 +81,8 @@ double loglog_slope(const std::vector<double>& x, const std::vector<double>& y) 
     sxy += lx * ly;
   }
   const double denom = n * sxx - sx * sx;
+  // kc-lint-allow(numerics): exact degenerate-fit sentinel — denom is
+  // identically 0.0 (not merely tiny) only when every x coincides.
   KC_EXPECTS(denom != 0.0);
   return (n * sxy - sx * sy) / denom;
 }

@@ -1,0 +1,16 @@
+// Fixture: allowlist hygiene — an annotation with no reason does not
+// suppress, a stale annotation is flagged, an unknown rule is flagged.
+namespace fixture {
+
+bool empty_reason(double r) {
+  // kc-lint-allow(numerics):
+  return r == 0.0;
+}
+
+// kc-lint-allow(determinism): nothing below trips the determinism rule.
+inline int stale() { return 3; }
+
+// kc-lint-allow(quantum): not a rule this tool knows.
+inline int unknown() { return 4; }
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: a reasoned kc-lint-allow suppresses the diagnostic and shows up
+// in the report's allowlist budget.
+namespace fixture {
+
+bool converged(double r) {
+  // kc-lint-allow(numerics): exact sentinel — r is assigned 0.0 verbatim.
+  return r == 0.0;
+}
+
+}  // namespace fixture

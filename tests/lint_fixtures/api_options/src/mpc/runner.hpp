@@ -1,0 +1,19 @@
+// Fixture: Options structs must stay lean; MPC entry points take an
+// ExecContext instead of raw execution resources.
+#pragma once
+
+namespace fixture {
+
+class ThreadPool;
+struct ExecContext;
+
+struct RunnerOptions {
+  int rounds = 4;
+  ThreadPool* pool = nullptr;
+};
+
+int run_rounds(const RunnerOptions& opts);
+
+int run_rounds_ctx(const RunnerOptions& opts, ExecContext& ctx);
+
+}  // namespace fixture

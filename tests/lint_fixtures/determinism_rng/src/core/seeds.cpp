@@ -1,0 +1,18 @@
+// Fixture: every banned entropy source outside util/rng.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+int roll() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  return std::rand() % 6;
+}
+
+unsigned hw_seed() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: iterating an unordered container is order-nondeterministic.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+int sum_values() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  int total = 0;
+  for (const auto& [k, v] : counts) total += v;
+  return total;
+}
+
+int first_key() {
+  std::unordered_set<int> seen = {1, 2, 3};
+  return *seen.begin();
+}
+
+}  // namespace fixture

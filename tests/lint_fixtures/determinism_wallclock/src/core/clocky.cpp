@@ -1,0 +1,14 @@
+// Fixture: raw wall-clock reads belong in util/timer and bench only.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long stamp() {
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+long unix_now() { return static_cast<long>(::time(nullptr)); }
+
+}  // namespace fixture

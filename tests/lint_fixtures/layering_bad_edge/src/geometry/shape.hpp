@@ -1,0 +1,8 @@
+// Fixture: a legal geometry header (includes nothing above util).
+#pragma once
+
+namespace fixture {
+struct Shape {
+  int sides = 3;
+};
+}  // namespace fixture

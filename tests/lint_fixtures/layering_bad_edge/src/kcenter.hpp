@@ -1,0 +1,6 @@
+// Fixture umbrella: keeps the reachability check quiet so the case pins
+// only the illegal util -> geometry edge.
+#pragma once
+
+#include "geometry/shape.hpp"
+#include "util/bad.hpp"

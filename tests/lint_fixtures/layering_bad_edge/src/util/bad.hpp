@@ -1,0 +1,8 @@
+// Fixture: util is the bottom layer and must not reach into geometry.
+#pragma once
+
+#include "geometry/shape.hpp"
+
+namespace fixture {
+inline int twice(int x) { return 2 * x; }
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: half of an include cycle (a -> b -> a).
+#pragma once
+
+#include "core/b.hpp"
+
+namespace fixture {
+inline int a_value() { return 1; }
+}  // namespace fixture

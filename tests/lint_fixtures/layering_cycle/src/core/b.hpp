@@ -1,0 +1,8 @@
+// Fixture: the other half of the include cycle.
+#pragma once
+
+#include "core/a.hpp"
+
+namespace fixture {
+inline int b_value() { return 2; }
+}  // namespace fixture

@@ -1,0 +1,5 @@
+// Fixture umbrella: both headers reachable, so the only diagnostic is the
+// cycle itself.
+#pragma once
+
+#include "core/a.hpp"

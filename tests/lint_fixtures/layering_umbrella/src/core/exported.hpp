@@ -1,0 +1,6 @@
+// Fixture: a header the umbrella does export.
+#pragma once
+
+namespace fixture {
+inline int exported() { return 7; }
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Fixture: a public header the umbrella forgot to export.
+#pragma once
+
+namespace fixture {
+inline int hidden() { return 42; }
+}  // namespace fixture

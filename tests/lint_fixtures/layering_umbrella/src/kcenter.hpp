@@ -1,0 +1,4 @@
+// Fixture umbrella that misses core/hidden.hpp.
+#pragma once
+
+#include "core/exported.hpp"

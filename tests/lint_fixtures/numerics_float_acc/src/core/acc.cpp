@@ -1,0 +1,10 @@
+// Fixture: accumulating into a float breaks the float64-reduction contract.
+namespace fixture {
+
+double total(const float* xs, int n) {
+  float sum = 0.0F;
+  for (int i = 0; i < n; ++i) sum += xs[i];
+  return static_cast<double>(sum);
+}
+
+}  // namespace fixture

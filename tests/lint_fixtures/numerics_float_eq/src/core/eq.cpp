@@ -1,0 +1,8 @@
+// Fixture: exact compares against float literals need an allowlist reason.
+namespace fixture {
+
+bool is_zero(double x) { return x == 0.0; }
+
+bool not_one(double x) { return x != 1.0; }
+
+}  // namespace fixture

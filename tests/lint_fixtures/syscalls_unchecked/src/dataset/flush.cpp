@@ -1,0 +1,14 @@
+// Fixture: discarded I/O and process-control returns in dataset code.
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace fixture {
+
+void flush(int fd, void* addr, unsigned long len, int pid) {
+  ::fsync(fd);
+  (void)::posix_madvise(addr, len, POSIX_MADV_DONTNEED);
+  ::waitpid(pid, nullptr, 0);
+}
+
+}  // namespace fixture

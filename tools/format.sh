@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Format (or check) every tracked C++ file with the repo .clang-format.
+#
+#   tools/format.sh           reformat in place
+#   tools/format.sh --check   dry run, exit nonzero on any diff (CI mode)
+#
+# tests/lint_fixtures/ is excluded: those files exist to contain
+# violations and their line numbers are pinned by golden expected.txt
+# files, so no tool may rewrite them.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format.sh: clang-format not found on PATH" >&2
+  echo "format.sh: install LLVM (apt install clang-format) or rely on the CI format leg" >&2
+  exit 2
+fi
+
+MODE="-i"
+if [ "${1:-}" = "--check" ]; then
+  MODE="--dry-run -Werror"
+fi
+
+# shellcheck disable=SC2086
+git ls-files '*.hpp' '*.cpp' ':!tests/lint_fixtures' | xargs -r clang-format $MODE

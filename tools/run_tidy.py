@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Cached clang-tidy driver over compile_commands.json.
+
+Runs the repo .clang-tidy policy over every first-party translation unit
+in the compilation database, in parallel, with a content-addressed result
+cache so unchanged TUs cost nothing on re-runs (the CI lint leg persists
+the cache directory between runs with actions/cache).
+
+    python3 tools/run_tidy.py --build build            # skip if no clang-tidy
+    python3 tools/run_tidy.py --build build --require  # CI: missing tool fails
+
+Cache key per TU: sha256 of (clang-tidy --version, .clang-tidy contents,
+the TU's compile command, the TU contents, and a tree hash of every
+tracked header).  Any header edit therefore invalidates every cached
+entry — deliberately conservative, since clang-tidy findings in headers
+are attributed to including TUs.
+
+Exit codes: 0 clean (or tool missing without --require), 1 findings,
+2 usage/environment error.  Stdlib only; no pip dependencies.
+"""
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+EXCLUDE_DIR_PARTS = ("/lint_fixtures/", "/_deps/", "/build/")
+
+
+def sha256_file(path, h):
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 16), b""):
+            h.update(chunk)
+
+
+def headers_tree_hash(root):
+    """One hash over every tracked .hpp, so header edits invalidate TUs."""
+    h = hashlib.sha256()
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "*.hpp"], cwd=root, capture_output=True,
+            text=True, check=True).stdout
+        headers = [ln for ln in out.splitlines() if ln]
+    except (OSError, subprocess.CalledProcessError):
+        headers = []
+        for dirpath, dirnames, filenames in os.walk(os.path.join(root, "src")):
+            dirnames[:] = sorted(d for d in dirnames if d != "build")
+            headers.extend(os.path.join(dirpath, f)
+                           for f in sorted(filenames) if f.endswith(".hpp"))
+    for rel in sorted(headers):
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            continue
+        h.update(rel.encode())
+        sha256_file(path, h)
+    return h.hexdigest()
+
+
+def tu_key(entry, base):
+    h = hashlib.sha256(base.encode())
+    h.update(entry.get("command", " ".join(entry.get("arguments", [])))
+             .encode())
+    sha256_file(entry["file"], h)
+    return h.hexdigest()
+
+
+def run_one(tidy, entry, build_dir, cache_dir, base_key):
+    key = tu_key(entry, base_key)
+    cache_path = os.path.join(cache_dir, key)
+    if os.path.exists(cache_path):
+        with open(cache_path, "r", encoding="utf-8") as fh:
+            cached = json.load(fh)
+        return entry["file"], cached["rc"], cached["output"], True
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", entry["file"]],
+        capture_output=True, text=True)
+    output = (proc.stdout + proc.stderr).strip()
+    with open(cache_path, "w", encoding="utf-8") as fh:
+        json.dump({"rc": proc.returncode, "output": output}, fh)
+    return entry["file"], proc.returncode, output, False
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--build", default="build",
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--cache", default=".tidy-cache",
+                        help="result cache directory (persisted in CI)")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 2) when clang-tidy is missing "
+                             "instead of skipping — the CI mode")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    args = parser.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    tidy = shutil.which("clang-tidy")
+    if tidy is None:
+        msg = "run_tidy: clang-tidy not found on PATH"
+        if args.require:
+            print(msg, file=sys.stderr)
+            return 2
+        print(msg + " — skipping (use --require to make this fatal)")
+        return 0
+
+    db_path = os.path.join(root, args.build, "compile_commands.json")
+    if not os.path.exists(db_path):
+        print(f"run_tidy: {db_path} not found — configure with "
+              f"cmake -B {args.build} -S . first", file=sys.stderr)
+        return 2
+    with open(db_path, "r", encoding="utf-8") as fh:
+        db = json.load(fh)
+
+    entries = []
+    for entry in db:
+        f = entry["file"].replace(os.sep, "/")
+        if any(part in f for part in EXCLUDE_DIR_PARTS):
+            continue
+        if not f.startswith(root.replace(os.sep, "/")):
+            continue  # FetchContent'd third-party TUs
+        entries.append(entry)
+    if not entries:
+        print("run_tidy: no first-party TUs in the compilation database",
+              file=sys.stderr)
+        return 2
+
+    cache_dir = os.path.join(root, args.cache)
+    os.makedirs(cache_dir, exist_ok=True)
+    version = subprocess.run([tidy, "--version"], capture_output=True,
+                             text=True).stdout
+    with open(os.path.join(root, ".clang-tidy"), "r",
+              encoding="utf-8") as fh:
+        config = fh.read()
+    base_key = version + config + headers_tree_hash(root)
+
+    failures = []
+    hits = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [pool.submit(run_one, tidy, e, os.path.join(
+            root, args.build), cache_dir, base_key) for e in entries]
+        for fut in concurrent.futures.as_completed(futures):
+            path, rc, output, cached = fut.result()
+            hits += cached
+            rel = os.path.relpath(path, root)
+            if rc != 0:
+                failures.append((rel, output))
+                print(f"run_tidy: FAIL {rel}")
+                print(output)
+            else:
+                print(f"run_tidy: ok   {rel}" + (" (cached)" if cached
+                                                 else ""))
+
+    print(f"run_tidy: {len(entries)} TUs, {hits} cache hits, "
+          f"{len(failures)} failing")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
